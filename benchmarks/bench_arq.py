@@ -1,0 +1,118 @@
+"""E11 — ARQ operation: goodput vs loss, window-size effects, and the
+runtime cost of the DSL machinery (paper §3.4 plus the efficiency claims
+of §3.3).
+
+Expected shapes:
+
+* stop-and-wait goodput falls roughly as (1 - p) with loss rate p and is
+  RTT-bound (the textbook curve);
+* sliding windows beat stop-and-wait, selective repeat beats go-back-N
+  under loss;
+* the DSL sender costs a modest constant factor over the hand-coded
+  baseline (types are checked at runtime here, not compile time), and the
+  gap is not the protocol's bottleneck — the network dominates.
+"""
+
+import time
+
+from conftest import record_table
+
+from repro.baseline.sockets_arq import run_baseline_transfer
+from repro.netsim.channel import ChannelConfig
+from repro.protocols.arq import run_transfer
+from repro.protocols.sliding import run_gbn_transfer, run_sr_transfer
+
+MESSAGES = [bytes([i % 256]) * 32 for i in range(40)]
+
+
+def test_goodput_vs_loss(benchmark):
+    rows = []
+    for loss in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5):
+        config = ChannelConfig(loss_rate=loss)
+        report = run_transfer(MESSAGES, config, seed=1, max_retries=200)
+        assert report.success
+        rows.append(
+            (
+                f"{loss:.1f}",
+                f"{report.goodput:.0f}",
+                report.retransmissions,
+                f"{report.duration:.1f}",
+            )
+        )
+    record_table(
+        "E11",
+        "stop-and-wait goodput vs loss (40 x 32B msgs, RTT 0.1s)",
+        ["loss", "goodput B/s", "retransmissions", "virt duration s"],
+        rows,
+        notes="expected shape: goodput ~ (1-p) * payload/RTT, textbook curve",
+    )
+    benchmark.pedantic(
+        lambda: run_transfer(MESSAGES, ChannelConfig(loss_rate=0.2), seed=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_protocol_comparison_under_loss(benchmark):
+    config = ChannelConfig(loss_rate=0.15)
+    rows = []
+    for label, runner, kwargs in (
+        ("stop-and-wait", run_transfer, {}),
+        ("go-back-n w=8", run_gbn_transfer, {"window": 8}),
+        ("selective w=8", run_sr_transfer, {"window": 8}),
+    ):
+        report = runner(MESSAGES, config, seed=2, **kwargs)
+        assert report.success
+        rows.append(
+            (
+                label,
+                f"{report.goodput:.0f}",
+                report.data_frames_sent,
+                f"{report.duration:.1f}",
+            )
+        )
+    record_table(
+        "E11b",
+        "protocol family at 15% loss (same link, same messages)",
+        ["protocol", "goodput B/s", "data frames", "virt duration s"],
+        rows,
+        notes="expected shape: windows beat stop-and-wait; SR sends fewest frames",
+    )
+    goodputs = {row[0]: float(row[1]) for row in rows}
+    assert goodputs["go-back-n w=8"] > goodputs["stop-and-wait"]
+    benchmark.pedantic(
+        lambda: run_sr_transfer(MESSAGES, config, window=8, seed=2),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_dsl_runtime_overhead_vs_baseline(benchmark):
+    """Wall-clock cost of the DSL machinery per delivered message."""
+    config = ChannelConfig(loss_rate=0.1)
+    rows = []
+    timings = {}
+    for label, runner in (("dsl", run_transfer), ("baseline", run_baseline_transfer)):
+        start = time.perf_counter()
+        for seed in range(5):
+            report = runner(MESSAGES, config, seed=seed)
+            assert report.success
+        elapsed = time.perf_counter() - start
+        timings[label] = elapsed
+        rows.append((label, f"{elapsed * 1e3:.0f}", f"{elapsed / 5 / len(MESSAGES) * 1e6:.0f}"))
+    rows.append(
+        ("overhead", f"{timings['dsl'] / timings['baseline']:.2f}x", "-")
+    )
+    record_table(
+        "E11c",
+        "host-CPU cost: DSL machinery vs hand-coded (5 transfers each)",
+        ["implementation", "total ms", "us per message"],
+        rows,
+        notes=(
+            "expected shape: a small constant factor for proofs-at-runtime; "
+            "both are sub-millisecond per message and network-bound in practice"
+        ),
+    )
+    benchmark.pedantic(
+        lambda: run_transfer(MESSAGES, config, seed=0), rounds=3, iterations=1
+    )

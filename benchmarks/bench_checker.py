@@ -1,0 +1,129 @@
+"""E12 — definition-time checking: cost and catch rate (paper §3.3).
+
+(a) Checker cost as machine specs grow (states/transitions): expected
+~linear, never exponential — the structural contrast to E4.
+(b) Catch rate over a corpus of mutated (deliberately broken) specs:
+every mutation class the checker claims to catch must be caught.
+"""
+
+import time
+
+from conftest import record_table
+
+from repro.core.checker import check_machine
+from repro.core.statemachine import MachineSpec, Param
+from repro.core.symbolic import Var
+
+
+def chain_machine(states):
+    """A linear machine with `states` states and 2 transitions each."""
+    spec = MachineSpec("chain")
+    seq = Param("seq", bits=16)
+    declared = [
+        spec.state(f"S{i}", params=[seq], initial=(i == 0)) for i in range(states)
+    ]
+    final = spec.state("F", params=[seq], final=True)
+    n = Var("seq")
+    for i in range(states):
+        target = declared[i + 1] if i + 1 < states else final
+        spec.transition(f"GO{i}", declared[i](n), target(n + 1))
+        spec.transition(f"LOOP{i}", declared[i](n), declared[i](n))
+    return spec
+
+
+MUTATIONS = [
+    ("no initial state", "no initial state"),
+    ("unbound target var", "inputs bind"),
+    ("final with outgoing", "must be terminal"),
+    ("unreachable state", "unreachable"),
+    ("dead-end state", "deadlock"),
+    ("missing event handler", "does not handle"),
+    ("bad requires object", "requires must be"),
+    ("guard unknown variable", "guard references"),
+]
+
+
+def mutated_spec(kind):
+    spec = MachineSpec("mutant")
+    seq = Param("seq", bits=8)
+    n = Var("seq")
+    if kind == "no initial state":
+        a = spec.state("A", params=[seq], final=True)
+        return spec
+    a = spec.state("A", params=[seq], initial=True)
+    f = spec.state("F", params=[seq], final=True)
+    if kind == "unbound target var":
+        spec.transition("T", a(n), f(Var("ghost")))
+    elif kind == "final with outgoing":
+        spec.transition("T", a(n), f(n))
+        spec.transition("BACK", f(n), a(n))
+    elif kind == "unreachable state":
+        spec.state("Island", params=[seq], final=True)
+        spec.transition("T", a(n), f(n))
+    elif kind == "dead-end state":
+        trap = spec.state("Trap", params=[seq])
+        spec.transition("T", a(n), trap(n))
+        spec.transition("T2", a(n), f(n))
+    elif kind == "missing event handler":
+        spec.transition("T", a(n), f(n), event="go")
+        spec.expect_events(a, ["go", "timer"])
+    elif kind == "bad requires object":
+        spec.transition("T", a(n), f(n), requires=object())
+    elif kind == "guard unknown variable":
+        spec.transition("T", a(n), f(n), guard=Var("ghost") > 0)
+    return spec
+
+
+def test_checker_cost_scales_linearly(benchmark):
+    rows = []
+    timings = []
+    for states in (5, 20, 80, 320):
+        spec = chain_machine(states)
+        start = time.perf_counter()
+        report = check_machine(spec)
+        elapsed = time.perf_counter() - start
+        assert report.ok
+        timings.append((states, elapsed))
+        rows.append(
+            (
+                states,
+                len(spec.transitions),
+                f"{elapsed * 1e3:.2f}",
+            )
+        )
+    record_table(
+        "E12",
+        "definition-time checker cost vs spec size",
+        ["states", "transitions", "checker ms"],
+        rows,
+        notes="expected shape: ~linear in declared structure (compare E4)",
+    )
+    # Quadratic-at-worst sanity: 64x states must not cost 4096x time.
+    small, large = timings[0][1], timings[-1][1]
+    assert large < small * 4096
+    benchmark.pedantic(
+        lambda: check_machine(chain_machine(80)), rounds=3, iterations=1
+    )
+
+
+def test_mutation_catch_rate(benchmark):
+    rows = []
+    caught = 0
+    for kind, expected_fragment in MUTATIONS:
+        report = check_machine(mutated_spec(kind))
+        hit = any(expected_fragment in error for error in report.errors)
+        caught += int(hit)
+        rows.append((kind, "caught" if hit else "MISSED"))
+    record_table(
+        "E12b",
+        "mutation corpus: broken specs vs the checker",
+        ["mutation", "outcome"],
+        rows,
+        notes="expected shape: 8/8 caught — these bugs cannot reach runtime",
+    )
+    assert caught == len(MUTATIONS)
+    benchmark.pedantic(
+        lambda: [check_machine(mutated_spec(k)) for k, _ in MUTATIONS],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,94 @@
+"""E3 — "we can know statically that no bounds check is needed when
+looking up a bounded index from the list of lines" (paper §3.3).
+
+The paper's example message: lines of text plus a line count, where a
+certificate that the count matches the data licenses unchecked indexed
+access.  We compare summing over the lines with per-access dynamic
+bounds/validity checks versus certificate-licensed direct access.
+Expected shape: the checked variant pays a constant factor per access,
+at every size.
+"""
+
+import time
+
+from conftest import record_table
+
+from repro.core.constraints import Constraint
+from repro.core.fields import UInt, UIntList
+from repro.core.packet import PacketSpec
+from repro.core.symbolic import this
+
+LINES_MESSAGE = PacketSpec(
+    "LinesMsg",
+    fields=[
+        UInt("line_count", bits=16),
+        UIntList("lines", element_bits=16, count=this.line_count),
+    ],
+    constraints=[
+        Constraint(
+            "count_matches",
+            lambda p: len(p.lines) == p.line_count,
+            doc="the line count is correct with respect to the data",
+        )
+    ],
+)
+
+REPEATS = 40
+
+
+def checked_sum(packet):
+    """Defensive access: every index re-checks count and bounds."""
+    total = 0
+    for index in range(packet.line_count):
+        if packet.line_count != len(packet.lines):  # revalidate
+            raise ValueError("count drifted")
+        if not 0 <= index < len(packet.lines):  # bounds check
+            raise IndexError(index)
+        total += packet.lines[index]
+    return total
+
+
+def certified_sum(verified):
+    """The certificate licenses direct access; no per-element checks."""
+    lines = verified.value.lines
+    total = 0
+    for index in range(verified.value.line_count):
+        total += lines[index]
+    return total
+
+
+def _measure(func, argument):
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        func(argument)
+    return time.perf_counter() - start
+
+
+def test_certified_vs_checked_access(benchmark):
+    rows = []
+    for count in (10, 100, 1000, 10_000):
+        packet = LINES_MESSAGE.make(
+            line_count=count, lines=list(range(count))
+        )
+        verified = LINES_MESSAGE.verify(packet)
+        checked = _measure(checked_sum, packet)
+        certified = _measure(certified_sum, verified)
+        rows.append(
+            (
+                count,
+                f"{checked * 1e3:.2f}",
+                f"{certified * 1e3:.2f}",
+                f"{checked / certified:.2f}x",
+            )
+        )
+        assert checked_sum(packet) == certified_sum(verified)
+    record_table(
+        "E3",
+        f"indexed access over the certified line list ({REPEATS} passes)",
+        ["lines", "dyn-checked ms", "certified ms", "speedup"],
+        rows,
+        notes="expected shape: constant-factor win at every size",
+    )
+    packet = LINES_MESSAGE.make(line_count=1000, lines=list(range(1000)))
+    verified = LINES_MESSAGE.verify(packet)
+    benchmark(certified_sum, verified)

@@ -1,0 +1,63 @@
+"""E8 — trust-aware forwarding in untrusted networks (paper §1.1 bullet 2,
+reference [12]).
+
+Delivery ratio across relay-compromise levels for three path-selection
+strategies.  Expected shape: random degrades linearly with the
+compromised fraction; trust-aware learning stays near the honest-path
+ceiling until honest paths run out; the lucky/unlucky variance of a fixed
+path shows why static configuration is not an answer.
+"""
+
+from conftest import record_table
+
+from repro.trust import run_mesh_experiment
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8)
+SEEDS = tuple(range(5))
+ROUNDS = 300
+
+
+def average_ratio(strategy, fraction, late=False):
+    total = 0.0
+    for seed in SEEDS:
+        report = run_mesh_experiment(
+            strategy,
+            rounds=ROUNDS,
+            compromised_fraction=fraction,
+            seed=seed,
+        )
+        total += report.late_delivery_ratio() if late else report.delivery_ratio
+    return total / len(SEEDS)
+
+
+def test_delivery_vs_compromise(benchmark):
+    rows = []
+    curves = {}
+    for fraction in FRACTIONS:
+        row = [f"{fraction:.1f}"]
+        for strategy in ("random", "fixed", "trust"):
+            ratio = average_ratio(strategy, fraction)
+            row.append(f"{ratio:.2f}")
+            curves[(strategy, fraction)] = ratio
+        row.append(f"{average_ratio('trust', fraction, late=True):.2f}")
+        rows.append(tuple(row))
+    record_table(
+        "E8",
+        f"delivery ratio vs compromised relay fraction "
+        f"(4x2 mesh, {ROUNDS} rounds, {len(SEEDS)} seeds)",
+        ["compromised", "random", "fixed", "trust", "trust (post-learning)"],
+        rows,
+        notes=(
+            "expected shape: trust holds near the honest ceiling while "
+            "random degrades with the compromised fraction"
+        ),
+    )
+    assert curves[("trust", 0.4)] > curves[("random", 0.4)] * 1.5
+    assert curves[("trust", 0.0)] > 0.9
+    benchmark.pedantic(
+        lambda: run_mesh_experiment(
+            "trust", rounds=ROUNDS, compromised_fraction=0.4, seed=0
+        ),
+        rounds=3,
+        iterations=1,
+    )

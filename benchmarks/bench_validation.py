@@ -1,0 +1,67 @@
+"""E2 — "when a packet has been validated once, it never needs to be
+validated again" (paper §3.4).
+
+A processing pipeline of N stages receives packets.  The *verified*
+pipeline parses (validate once) and passes the ``Verified`` value through
+all stages; the *revalidating* pipeline re-checks the packet at every
+stage, as defensive code without proof-carrying values must.  Expected
+shape: the gap grows linearly with pipeline depth.
+"""
+
+import time
+
+from conftest import record_table
+
+from repro.protocols.arq import ARQ_PACKET
+
+PAYLOAD = bytes(range(200))
+WIRE = ARQ_PACKET.encode(
+    ARQ_PACKET.make(seq=1, length=len(PAYLOAD), payload=PAYLOAD)
+)
+BATCH = 300
+
+
+def verified_pipeline(depth):
+    total = 0
+    for _ in range(BATCH):
+        verified = ARQ_PACKET.parse(WIRE)  # validate exactly once
+        for _ in range(depth):
+            total += verified.value.seq  # stages trust the certificate
+    return total
+
+
+def revalidating_pipeline(depth):
+    total = 0
+    for _ in range(BATCH):
+        packet = ARQ_PACKET.decode(WIRE)
+        for _ in range(depth):
+            ARQ_PACKET.verify(packet)  # every stage re-checks
+            total += packet.seq
+    return total
+
+
+def _measure(func, depth):
+    start = time.perf_counter()
+    func(depth)
+    return time.perf_counter() - start
+
+
+def test_validate_once_vs_revalidate(benchmark):
+    rows = []
+    for depth in (1, 2, 4, 8):
+        once = _measure(verified_pipeline, depth)
+        every = _measure(revalidating_pipeline, depth)
+        rows.append(
+            (depth, f"{once * 1e3:.1f}", f"{every * 1e3:.1f}", f"{every / once:.2f}x")
+        )
+    record_table(
+        "E2",
+        f"pipeline cost, {BATCH} packets of {len(PAYLOAD)}B payload",
+        ["stages", "validate-once ms", "revalidate ms", "ratio"],
+        rows,
+        notes="expected shape: ratio grows ~linearly with pipeline depth",
+    )
+    deep_once = _measure(verified_pipeline, 8)
+    deep_every = _measure(revalidating_pipeline, 8)
+    assert deep_every > deep_once
+    benchmark.pedantic(lambda: verified_pipeline(4), rounds=3, iterations=1)

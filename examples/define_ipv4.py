@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Figure 1, closed-loop: the RFC 791 IPv4 header as a checked definition.
+
+The paper shows the IPv4 header's ASCII picture as the state of the art
+in protocol description.  Here the picture, the ABNF grammar, a standalone
+Python codec, and the validation logic are all *derived* from one spec —
+and the spec parses real wire bytes (the classic worked example whose
+header checksum is 0xB861).
+
+Run:  python examples/define_ipv4.py
+"""
+
+from repro.core import export_abnf, generate_codec_source, render_header_diagram
+from repro.protocols.headers import (
+    IPV4_HEADER,
+    ipv4_address_string,
+    make_ipv4_header,
+)
+
+print("=" * 66)
+print("1. The generated ASCII picture (the paper's Figure 1):")
+print("=" * 66)
+print(render_header_diagram(IPV4_HEADER, title="Figure 1. IPv4 header (generated)"))
+print()
+
+print("=" * 66)
+print("2. Parsing the classic reference header (checksum 0xB861):")
+print("=" * 66)
+reference = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+verified = IPV4_HEADER.parse(reference)
+header = verified.value
+print(f"  version={header.version}  ihl={header.ihl}  ttl={header.ttl}")
+print(f"  protocol={header.protocol} (UDP)")
+print(f"  source={ipv4_address_string(header.source)}")
+print(f"  destination={ipv4_address_string(header.destination)}")
+print(f"  certificate covers: {list(verified.certificate.constraints)}")
+print()
+
+print("Corrupting one TTL bit without fixing the checksum:")
+corrupted = bytearray(reference)
+corrupted[8] ^= 0x01
+print(f"  try_parse -> {IPV4_HEADER.try_parse(bytes(corrupted))}")
+print()
+
+print("=" * 66)
+print("3. Building a fresh header (checksum and lengths computed):")
+print("=" * 66)
+wire, packet = make_ipv4_header(
+    "10.1.2.3", "10.9.8.7", protocol=6, payload_length=100, ttl=32
+)
+print(f"  wire: {wire.hex()}")
+print(f"  header_checksum=0x{packet.value.header_checksum:04x}")
+print()
+
+print("=" * 66)
+print("4. The derived ABNF grammar (note the semantic-gap comments):")
+print("=" * 66)
+print(export_abnf(IPV4_HEADER))
+print()
+
+print("=" * 66)
+print("5. The first lines of the generated standalone codec:")
+print("=" * 66)
+source = generate_codec_source(IPV4_HEADER)
+print("\n".join(source.splitlines()[:28]))
+print(f"  ... ({len(source.splitlines())} lines total; no repro imports)")

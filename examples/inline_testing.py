@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Inline testing: the protocol definition generates its own test suite.
+
+The paper's abstract promises "(b) inline testing", and §2.3 suggests the
+DSL "potentially allows automatic construction of (at least some)
+behavioural test cases".  This example shows both working:
+
+* structural test cases for packet specs — random valid packets
+  (dependent lengths and checksums resolved automatically), round-trips,
+  corruption probes, generated-codec cross-checks;
+* behavioural test cases for machines — random valid walks whose traces
+  are audited against the spec;
+* and a deliberately seeded codec bug, caught by the generated suite.
+
+Run:  python examples/inline_testing.py
+"""
+
+import random
+
+from repro.core.fields import UInt
+from repro.core.packet import PacketSpec
+from repro.protocols.arq import ACK_PACKET, ARQ_PACKET, build_sender_spec
+from repro.protocols.dns import DNS_HEADER
+from repro.protocols.headers import IPV4_HEADER, TCP_HEADER, UDP_HEADER
+from repro.testing import machine_self_test, random_packet, spec_self_test
+
+print("1. Random valid packets, dependent shapes resolved automatically")
+print("-" * 68)
+rng = random.Random(42)
+for spec in (ARQ_PACKET, IPV4_HEADER, DNS_HEADER):
+    packet = random_packet(spec, rng)
+    wire = spec.encode(packet)
+    print(f"  {spec.name:<12} {len(wire):>3}B  {wire[:16].hex()}"
+          f"{'...' if len(wire) > 16 else ''}")
+ip = random_packet(IPV4_HEADER, rng)
+print(f"  (note: random IPv4 drew ihl={ip.ihl}, so options is "
+      f"{len(ip.options)} bytes and the checksum is 0x{ip.header_checksum:04x})")
+print()
+
+print("2. Self-testing every shipped spec — zero hand-written cases")
+print("-" * 68)
+for spec in (ARQ_PACKET, ACK_PACKET, IPV4_HEADER, UDP_HEADER, TCP_HEADER, DNS_HEADER):
+    report = spec_self_test(spec, cases=40, seed=7)
+    print(f"  {spec.name:<16} {report.cases} generated cases: "
+          f"{'all passed' if report.ok else report.failures[:1]}")
+print()
+
+print("3. Behavioural walks over the ARQ sender machine, traces audited")
+print("-" * 68)
+
+
+def provide(transition, machine):
+    if transition.requires == "bytes":
+        return b"payload"
+    if transition.requires is not None:
+        return ACK_PACKET.verify(ACK_PACKET.make(seq=machine.current.values[0]))
+    return None
+
+
+report = machine_self_test(build_sender_spec(), provide, walks=25, seed=3)
+print(f"  {report.cases} random walks: "
+      f"{'all consistent, all traces replay' if report.ok else report.failures[:2]}")
+print()
+
+print("4. A seeded bug, caught by the generated suite")
+print("-" * 68)
+
+
+class OffByOneField(UInt):
+    """A field whose encoder quietly adds one — a classic transcription bug."""
+
+    def encode(self, writer, value, env):
+        super().encode(writer, (value + 1) % 256, env)
+
+
+buggy = PacketSpec("BuggySpec", fields=[OffByOneField("x", bits=8)])
+report = spec_self_test(buggy, cases=10, include_codegen=False)
+print(f"  BuggySpec: ok={report.ok}")
+print(f"  first failure: {report.failures[0]}")
+print()
+print("The test suite came from the definition itself — no tests were written.")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Verifying the ARQ *system* — sender, lossy channel and receiver together.
+
+The paper verifies each machine's transitions through its types; this
+example closes the remaining gap (§2.2's process-model territory) by
+composing the two protocol machines with an adversarial channel model and
+exhaustively checking the product:
+
+* the only stuck configurations are genuine success states;
+* the receiver never runs more than one message ahead of the sender;
+* from every reachable configuration, success remains reachable.
+
+It then seeds the classic stop-and-wait bug — dropping duplicates without
+re-acknowledging — and shows the checker produce the livelock witness.
+
+Run:  python examples/verify_arq_pair.py
+"""
+
+from repro.modelcheck.arq_model import verify_arq_system
+from repro.modelcheck.markov import expected_transmissions_per_message
+from repro.modelcheck.petri import arq_petri_net, explore_net
+
+print("1. The correct protocol, composed and exhaustively checked")
+print("-" * 62)
+for modulus, messages in ((4, 1), (4, 3), (8, 5)):
+    report = verify_arq_system(modulus=modulus, messages=messages)
+    print(
+        f"  seq mod {modulus}, {messages} messages: "
+        f"{report.states:>5} states, {report.edges:>5} edges | "
+        f"deadlocks={len(report.bad_deadlocks)} "
+        f"safety={len(report.safety_violations)} "
+        f"stuck={len(report.stuck_states)} -> "
+        f"{'VERIFIED' if report.ok else 'FAILED'}"
+    )
+
+print()
+print("2. The negative control: a receiver that drops duplicates silently")
+print("-" * 62)
+broken = verify_arq_system(modulus=4, messages=3, broken_receiver=True)
+print(
+    f"  {broken.states} states explored; "
+    f"{len(broken.stuck_states)} configurations can no longer succeed"
+)
+sender, channel, receiver = broken.stuck_states[0]
+print(f"  witness: sender={sender} channel={channel} receiver={receiver}")
+print("  (the ack for a delivered packet was lost; every retransmission")
+print("   is now discarded un-acked — the textbook stop-and-wait livelock)")
+
+print()
+print("3. Cross-checks from the other formalisms")
+print("-" * 62)
+net, initial = arq_petri_net()
+petri = explore_net(net, initial)
+print(
+    f"  Petri net: {petri.markings} markings, deadlock-free="
+    f"{not petri.deadlocks}, 2-bounded={petri.is_k_bounded(2)}, "
+    f"1-safe={petri.is_safe}"
+)
+print("   -> not 1-safe: premature timeouts allow two copies in flight,")
+print("      which is exactly why the protocol needs sequence numbers.")
+for loss in (0.1, 0.3):
+    analytic = expected_transmissions_per_message(loss, loss)
+    print(
+        f"  DTMC: at {loss:.0%} duplex loss, expected transmissions/message "
+        f"= {analytic:.2f}"
+    )
+print()
+print("One protocol; four mutually-checking views: typed machines (DSL),")
+print("state product (CSP-style), token flow (Petri), probability (DTMC).")

@@ -1,0 +1,39 @@
+"""An RFC 5234 ABNF engine: grammar parser plus matcher.
+
+The paper (§2.1) cites ABNF as the formal-but-syntactic way protocols are
+described today: "a readily machine-parseable definition [that] remains,
+essentially, a syntactic notation".  This package implements that
+comparator in full — parse an ABNF grammar from text, then match byte
+strings against any rule — so the evaluation can run real ABNF next to the
+DSL (experiment E10) and the DSL's ABNF exporter has a consumer to
+validate against.
+"""
+
+from repro.abnf.grammar import (
+    AbnfSyntaxError,
+    Alternation,
+    CharLiteral,
+    Concatenation,
+    Grammar,
+    NumRange,
+    NumSet,
+    Repetition,
+    RuleRef,
+    parse_grammar,
+)
+from repro.abnf.matcher import AbnfMatchError, Matcher
+
+__all__ = [
+    "parse_grammar",
+    "Grammar",
+    "Matcher",
+    "AbnfSyntaxError",
+    "AbnfMatchError",
+    "Alternation",
+    "Concatenation",
+    "Repetition",
+    "RuleRef",
+    "CharLiteral",
+    "NumRange",
+    "NumSet",
+]

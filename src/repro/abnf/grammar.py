@@ -1,0 +1,450 @@
+"""Parsing RFC 5234 ABNF grammar text into an AST.
+
+Supports the full notation: rule definition (``=``) and incremental
+alternatives (``=/``), alternation ``/``, concatenation, repetition
+(``*``, ``n*m``, ``n``), groups ``( )``, options ``[ ]``, case-insensitive
+string literals ``"..."`` (and RFC 7405 ``%s"..."`` / ``%i"..."``),
+numeric values ``%d`` / ``%x`` / ``%b`` with concatenations
+(``%d13.10``) and ranges (``%x30-39``), and comments ``;``.
+
+Prose values ``<...>`` are parsed but refuse to *match* — they are,
+definitionally, not machine-interpretable, which is part of the paper's
+point about informal specification leaking into formal notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class AbnfSyntaxError(ValueError):
+    """Raised when ABNF grammar text cannot be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"ABNF syntax error at {line}:{column}: {message}")
+
+
+# -- AST -----------------------------------------------------------------
+
+
+class Element:
+    """Base class for ABNF AST nodes."""
+
+
+@dataclass(frozen=True)
+class RuleRef(Element):
+    """A reference to another rule (case-insensitive)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CharLiteral(Element):
+    """A quoted string literal; ``case_sensitive`` per RFC 7405."""
+
+    text: str
+    case_sensitive: bool = False
+
+
+@dataclass(frozen=True)
+class NumSet(Element):
+    """A fixed sequence of byte values, e.g. ``%d13.10``."""
+
+    values: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NumRange(Element):
+    """An inclusive byte-value range, e.g. ``%x30-39``."""
+
+    low: int
+    high: int
+
+
+@dataclass(frozen=True)
+class ProseVal(Element):
+    """A ``<free prose>`` description — parseable, never matchable."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Concatenation(Element):
+    """A sequence of elements that must match in order."""
+
+    parts: Tuple[Element, ...]
+
+
+@dataclass(frozen=True)
+class Alternation(Element):
+    """Ordered alternatives (matching tries all, RFC semantics)."""
+
+    choices: Tuple[Element, ...]
+
+
+@dataclass(frozen=True)
+class Repetition(Element):
+    """``min`` to ``max`` (None = unbounded) repeats of an element."""
+
+    element: Element
+    minimum: int = 0
+    maximum: Optional[int] = None
+
+
+class Grammar:
+    """A parsed ABNF grammar: named rules plus the RFC 5234 core rules."""
+
+    def __init__(self, rules: Dict[str, Element]) -> None:
+        self.rules = dict(_CORE_RULES)
+        self.rules.update(rules)
+
+    def rule(self, name: str) -> Element:
+        """Look up a rule, case-insensitively."""
+        try:
+            return self.rules[name.lower()]
+        except KeyError:
+            raise KeyError(f"grammar has no rule {name!r}") from None
+
+    def rule_names(self) -> List[str]:
+        """All rule names (core rules included), sorted."""
+        return sorted(self.rules)
+
+    def undefined_references(self) -> List[str]:
+        """Names referenced but never defined (a lint for grammar authors)."""
+        seen: set = set()
+
+        def walk(element: Element) -> None:
+            if isinstance(element, RuleRef):
+                if element.name.lower() not in self.rules:
+                    seen.add(element.name.lower())
+            elif isinstance(element, (Concatenation, Alternation)):
+                parts = (
+                    element.parts
+                    if isinstance(element, Concatenation)
+                    else element.choices
+                )
+                for part in parts:
+                    walk(part)
+            elif isinstance(element, Repetition):
+                walk(element.element)
+
+        for body in self.rules.values():
+            walk(body)
+        return sorted(seen)
+
+
+# RFC 5234 Appendix B core rules, expressed directly as AST.
+_CORE_RULES: Dict[str, Element] = {
+    "alpha": Alternation((NumRange(0x41, 0x5A), NumRange(0x61, 0x7A))),
+    "bit": Alternation((CharLiteral("0"), CharLiteral("1"))),
+    "char": NumRange(0x01, 0x7F),
+    "cr": NumSet((0x0D,)),
+    "crlf": NumSet((0x0D, 0x0A)),
+    "ctl": Alternation((NumRange(0x00, 0x1F), NumSet((0x7F,)))),
+    "digit": NumRange(0x30, 0x39),
+    "dquote": NumSet((0x22,)),
+    "hexdig": Alternation(
+        (
+            NumRange(0x30, 0x39),
+            Alternation(
+                tuple(CharLiteral(c) for c in "ABCDEF")
+            ),
+        )
+    ),
+    "htab": NumSet((0x09,)),
+    "lf": NumSet((0x0A,)),
+    "lwsp": Repetition(
+        Alternation(
+            (
+                RuleRef("WSP"),
+                Concatenation((RuleRef("CRLF"), RuleRef("WSP"))),
+            )
+        )
+    ),
+    "octet": NumRange(0x00, 0xFF),
+    "sp": NumSet((0x20,)),
+    "vchar": NumRange(0x21, 0x7E),
+    "wsp": Alternation((NumSet((0x20,)), NumSet((0x09,)))),
+}
+
+
+# -- parser ----------------------------------------------------------------
+
+
+class _Cursor:
+    """Character cursor with line/column tracking for error messages."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> str:
+        piece = self.text[self.pos : self.pos + count]
+        self.pos += count
+        return piece
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def location(self) -> Tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = len(consumed) - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> AbnfSyntaxError:
+        line, column = self.location()
+        return AbnfSyntaxError(message, line, column)
+
+
+def parse_grammar(text: str) -> Grammar:
+    """Parse ABNF grammar text into a :class:`Grammar`.
+
+    A common indentation prefix (e.g. from a triple-quoted Python string)
+    is removed before the line-oriented RFC 5234 rules apply.
+
+    Raises :class:`AbnfSyntaxError` with line/column on malformed input.
+    """
+    import textwrap
+
+    text = textwrap.dedent(text)
+    rules: Dict[str, Element] = {}
+    for name, incremental, body_text in _split_rules(text):
+        cursor = _Cursor(body_text)
+        body = _parse_alternation(cursor)
+        _skip_ws(cursor)
+        if not cursor.at_end():
+            raise cursor.error(f"trailing content in rule {name!r}")
+        key = name.lower()
+        if incremental:
+            if key not in rules:
+                raise AbnfSyntaxError(
+                    f"incremental alternative for undefined rule {name!r}", 1, 1
+                )
+            existing = rules[key]
+            if isinstance(existing, Alternation):
+                choices = existing.choices
+            else:
+                choices = (existing,)
+            extra = body.choices if isinstance(body, Alternation) else (body,)
+            rules[key] = Alternation(choices + extra)
+        else:
+            if key in rules:
+                raise AbnfSyntaxError(f"rule {name!r} defined twice", 1, 1)
+            rules[key] = body
+    if not rules:
+        raise AbnfSyntaxError("no rules found", 1, 1)
+    return Grammar(rules)
+
+
+def _strip_comments(line: str) -> str:
+    out: List[str] = []
+    in_string = False
+    for ch in line:
+        if ch == '"':
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _split_rules(text: str) -> List[Tuple[str, bool, str]]:
+    """Split grammar text into (name, incremental, body) per rule.
+
+    Continuation lines (starting with whitespace) attach to the previous
+    rule, per RFC 5234's line-oriented format.
+    """
+    entries: List[Tuple[str, bool, List[str]]] = []
+    for raw_line in text.splitlines():
+        line = _strip_comments(raw_line).rstrip()
+        if not line.strip():
+            continue
+        if line[0] in " \t":
+            if not entries:
+                raise AbnfSyntaxError("continuation before any rule", 1, 1)
+            entries[-1][2].append(line.strip())
+            continue
+        if "=" not in line:
+            raise AbnfSyntaxError(f"rule line without '=': {line!r}", 1, 1)
+        head, _, tail = line.partition("=")
+        incremental = False
+        if tail.startswith("/"):
+            incremental = True
+            tail = tail[1:]
+        name = head.strip()
+        if not _is_rulename(name):
+            raise AbnfSyntaxError(f"invalid rule name {name!r}", 1, 1)
+        entries.append((name, incremental, [tail.strip()]))
+    return [(name, inc, " ".join(parts)) for name, inc, parts in entries]
+
+
+def _is_rulename(name: str) -> bool:
+    if not name:
+        return False
+    if not name[0].isalpha():
+        return False
+    return all(ch.isalnum() or ch == "-" for ch in name)
+
+
+def _skip_ws(cursor: _Cursor) -> None:
+    while cursor.peek() in (" ", "\t"):
+        cursor.advance()
+
+
+def _parse_alternation(cursor: _Cursor) -> Element:
+    choices = [_parse_concatenation(cursor)]
+    while True:
+        _skip_ws(cursor)
+        if cursor.peek() == "/":
+            cursor.advance()
+            _skip_ws(cursor)
+            choices.append(_parse_concatenation(cursor))
+        else:
+            break
+    if len(choices) == 1:
+        return choices[0]
+    return Alternation(tuple(choices))
+
+
+def _parse_concatenation(cursor: _Cursor) -> Element:
+    parts = [_parse_repetition(cursor)]
+    while True:
+        _skip_ws(cursor)
+        nxt = cursor.peek()
+        if nxt in ("", "/", ")", "]"):
+            break
+        parts.append(_parse_repetition(cursor))
+    if len(parts) == 1:
+        return parts[0]
+    return Concatenation(tuple(parts))
+
+
+def _parse_repetition(cursor: _Cursor) -> Element:
+    _skip_ws(cursor)
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+    has_repeat = False
+    digits = _take_digits(cursor)
+    if cursor.peek() == "*":
+        has_repeat = True
+        minimum = int(digits) if digits else 0
+        cursor.advance()
+        upper = _take_digits(cursor)
+        maximum = int(upper) if upper else None
+    elif digits:
+        has_repeat = True
+        minimum = maximum = int(digits)
+    element = _parse_element(cursor)
+    if not has_repeat:
+        return element
+    if maximum is not None and maximum < (minimum or 0):
+        raise cursor.error(f"repeat range {minimum}*{maximum} is inverted")
+    return Repetition(element, minimum or 0, maximum)
+
+
+def _take_digits(cursor: _Cursor) -> str:
+    digits = []
+    while cursor.peek().isdigit():
+        digits.append(cursor.advance())
+    return "".join(digits)
+
+
+def _parse_element(cursor: _Cursor) -> Element:
+    ch = cursor.peek()
+    if ch == "(":
+        cursor.advance()
+        inner = _parse_alternation(cursor)
+        _skip_ws(cursor)
+        if cursor.peek() != ")":
+            raise cursor.error("unclosed group")
+        cursor.advance()
+        return inner
+    if ch == "[":
+        cursor.advance()
+        inner = _parse_alternation(cursor)
+        _skip_ws(cursor)
+        if cursor.peek() != "]":
+            raise cursor.error("unclosed option")
+        cursor.advance()
+        return Repetition(inner, 0, 1)
+    if ch == '"':
+        return _parse_char_val(cursor, case_sensitive=False)
+    if ch == "%":
+        return _parse_terminal(cursor)
+    if ch == "<":
+        cursor.advance()
+        text = []
+        while cursor.peek() not in (">", ""):
+            text.append(cursor.advance())
+        if cursor.peek() != ">":
+            raise cursor.error("unclosed prose value")
+        cursor.advance()
+        return ProseVal("".join(text))
+    if ch.isalpha():
+        name = [cursor.advance()]
+        while cursor.peek().isalnum() or cursor.peek() == "-":
+            name.append(cursor.advance())
+        return RuleRef("".join(name))
+    raise cursor.error(f"unexpected character {ch!r}")
+
+
+def _parse_char_val(cursor: _Cursor, case_sensitive: bool) -> Element:
+    if cursor.peek() != '"':
+        raise cursor.error("expected '\"'")
+    cursor.advance()
+    text = []
+    while cursor.peek() not in ('"', ""):
+        text.append(cursor.advance())
+    if cursor.peek() != '"':
+        raise cursor.error("unterminated string literal")
+    cursor.advance()
+    return CharLiteral("".join(text), case_sensitive)
+
+
+_BASES = {"b": 2, "d": 10, "x": 16}
+
+
+def _parse_terminal(cursor: _Cursor) -> Element:
+    cursor.advance()  # consume '%'
+    marker = cursor.peek().lower()
+    if marker in ("s", "i"):
+        cursor.advance()
+        return _parse_char_val(cursor, case_sensitive=(marker == "s"))
+    if marker not in _BASES:
+        raise cursor.error(f"unknown terminal base {marker!r}")
+    base = _BASES[marker]
+    cursor.advance()
+    first = _take_base_digits(cursor, base)
+    if cursor.peek() == "-":
+        cursor.advance()
+        second = _take_base_digits(cursor, base)
+        low, high = int(first, base), int(second, base)
+        if low > high:
+            raise cursor.error(f"inverted range %{marker}{first}-{second}")
+        return NumRange(low, high)
+    values = [int(first, base)]
+    while cursor.peek() == ".":
+        cursor.advance()
+        values.append(int(_take_base_digits(cursor, base), base))
+    return NumSet(tuple(values))
+
+
+_BASE_ALPHABETS = {2: "01", 10: "0123456789", 16: "0123456789abcdefABCDEF"}
+
+
+def _take_base_digits(cursor: _Cursor, base: int) -> str:
+    alphabet = _BASE_ALPHABETS[base]
+    digits = []
+    while cursor.peek() and cursor.peek() in alphabet:
+        digits.append(cursor.advance())
+    if not digits:
+        raise cursor.error(f"expected base-{base} digits")
+    return "".join(digits)

@@ -1,0 +1,161 @@
+"""Matching byte strings against ABNF grammars.
+
+A backtracking matcher over the :mod:`repro.abnf.grammar` AST.  Matching
+is defined on *bytes* (ABNF terminals are byte values); convenience
+entry points accept ``str`` and encode as ASCII.
+
+The matcher enumerates candidate end positions lazily (generators), so
+alternation and repetition backtrack correctly without
+materializing the whole search space.  A recursion-depth guard turns
+left-recursive grammars into a clear error instead of a stack overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.abnf.grammar import (
+    Alternation,
+    CharLiteral,
+    Concatenation,
+    Element,
+    Grammar,
+    NumRange,
+    NumSet,
+    ProseVal,
+    Repetition,
+    RuleRef,
+)
+
+
+class AbnfMatchError(ValueError):
+    """Raised for unmatchable constructs (prose values, unknown rules)."""
+
+
+class Matcher:
+    """Matches data against rules of one grammar.
+
+    Example
+    -------
+    >>> from repro.abnf import parse_grammar
+    >>> g = parse_grammar('greeting = "hi" 1*DIGIT')
+    >>> Matcher(g).fullmatch("greeting", "hi42")
+    True
+    >>> Matcher(g).fullmatch("greeting", "hi")
+    False
+    """
+
+    def __init__(self, grammar: Grammar, max_depth: int = 500) -> None:
+        self.grammar = grammar
+        self.max_depth = max_depth
+
+    # -- public API --------------------------------------------------------
+
+    def fullmatch(self, rule_name: str, data: Union[str, bytes]) -> bool:
+        """True when the entire input matches the rule."""
+        payload = self._as_bytes(data)
+        target = len(payload)
+        return any(
+            end == target for end in self.match_ends(rule_name, payload)
+        )
+
+    def prefix_lengths(self, rule_name: str, data: Union[str, bytes]) -> list:
+        """All lengths of prefixes of ``data`` the rule can match."""
+        payload = self._as_bytes(data)
+        return sorted(set(self.match_ends(rule_name, payload)))
+
+    def match_ends(self, rule_name: str, data: bytes) -> Iterator[int]:
+        """Yield every end offset a match starting at 0 can reach."""
+        element = self.grammar.rule(rule_name)
+        return self._match(element, data, 0, 0)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _as_bytes(data: Union[str, bytes]) -> bytes:
+        if isinstance(data, bytes):
+            return data
+        return data.encode("ascii")
+
+    def _match(
+        self, element: Element, data: bytes, pos: int, depth: int
+    ) -> Iterator[int]:
+        if depth > self.max_depth:
+            raise AbnfMatchError(
+                f"recursion depth {self.max_depth} exceeded; the grammar is "
+                "likely left-recursive"
+            )
+        if isinstance(element, RuleRef):
+            try:
+                body = self.grammar.rule(element.name)
+            except KeyError:
+                raise AbnfMatchError(
+                    f"reference to undefined rule {element.name!r}"
+                ) from None
+            yield from self._match(body, data, pos, depth + 1)
+        elif isinstance(element, CharLiteral):
+            yield from self._match_literal(element, data, pos)
+        elif isinstance(element, NumSet):
+            end = pos + len(element.values)
+            if data[pos:end] == bytes(element.values):
+                yield end
+        elif isinstance(element, NumRange):
+            if pos < len(data) and element.low <= data[pos] <= element.high:
+                yield pos + 1
+        elif isinstance(element, ProseVal):
+            raise AbnfMatchError(
+                f"prose value <{element.text}> cannot be matched "
+                "mechanically — this is what the paper means by informal "
+                "specification"
+            )
+        elif isinstance(element, Concatenation):
+            yield from self._match_sequence(element.parts, data, pos, depth)
+        elif isinstance(element, Alternation):
+            for choice in element.choices:
+                yield from self._match(choice, data, pos, depth + 1)
+        elif isinstance(element, Repetition):
+            yield from self._match_repeat(element, data, pos, depth, 0)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise AbnfMatchError(f"unknown AST node {element!r}")
+
+    def _match_literal(
+        self, element: CharLiteral, data: bytes, pos: int
+    ) -> Iterator[int]:
+        target = element.text.encode("ascii")
+        end = pos + len(target)
+        chunk = data[pos:end]
+        if len(chunk) < len(target):
+            return
+        if element.case_sensitive:
+            if chunk == target:
+                yield end
+        elif chunk.lower() == target.lower():
+            yield end
+
+    def _match_sequence(
+        self, parts: tuple, data: bytes, pos: int, depth: int
+    ) -> Iterator[int]:
+        if not parts:
+            yield pos
+            return
+        head, tail = parts[0], parts[1:]
+        for middle in self._match(head, data, pos, depth + 1):
+            yield from self._match_sequence(tail, data, middle, depth)
+
+    def _match_repeat(
+        self,
+        element: Repetition,
+        data: bytes,
+        pos: int,
+        depth: int,
+        count: int,
+    ) -> Iterator[int]:
+        if count >= element.minimum:
+            yield pos
+        if element.maximum is not None and count >= element.maximum:
+            return
+        for middle in self._match(element.element, data, pos, depth + 1):
+            if middle == pos:
+                # Zero-width repeat body: stop, or we loop forever.
+                return
+            yield from self._match_repeat(element, data, middle, depth, count + 1)

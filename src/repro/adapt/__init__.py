@@ -1,0 +1,50 @@
+"""Behavioural hooks for adaptive protocols (paper §1.1).
+
+The paper's first motivation list names three behaviours next-generation
+protocols must host, each with a concrete citation:
+
+* **adaptation capability** [1] — a fuzzy-systems approach to media-stream
+  adaptation under changing network conditions
+  (:mod:`repro.adapt.fuzzy`, :mod:`repro.adapt.streaming`);
+* **tuning protocol operation** [5] — adapting protocol timers to reduce
+  overhead, as in tuning OLSR (:mod:`repro.adapt.timers`);
+* operation in untrusted environments [12] — see :mod:`repro.trust`.
+
+These are the "behavioural hooks ... in place to allow such adaptive
+behaviour" that §2.2 demands of a protocol definition framework: each is a
+plain object a DSL-defined protocol can consult from its driver loop.
+"""
+
+from repro.adapt.fuzzy import (
+    FuzzyRule,
+    FuzzySystem,
+    LinguisticVariable,
+    TrapezoidMF,
+    TriangularMF,
+    build_rate_controller,
+)
+from repro.adapt.streaming import (
+    StreamingReport,
+    run_streaming_session,
+)
+from repro.adapt.timers import (
+    AdaptiveIntervalController,
+    HelloProtocolReport,
+    RttEstimator,
+    run_hello_protocol,
+)
+
+__all__ = [
+    "TriangularMF",
+    "TrapezoidMF",
+    "LinguisticVariable",
+    "FuzzyRule",
+    "FuzzySystem",
+    "build_rate_controller",
+    "run_streaming_session",
+    "StreamingReport",
+    "RttEstimator",
+    "AdaptiveIntervalController",
+    "run_hello_protocol",
+    "HelloProtocolReport",
+]

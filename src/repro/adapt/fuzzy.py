@@ -1,0 +1,228 @@
+"""A Mamdani fuzzy inference system for QoS adaptation decisions.
+
+Reference [1] of the paper (Bhatti & Knight, *Enabling QoS adaptation
+decisions for Internet applications*) proposes fuzzy logic for deciding
+how an application should adapt a media stream to network conditions.
+This module provides the machinery — membership functions, linguistic
+variables, a rule base, min/max Mamdani inference with centroid
+defuzzification — plus :func:`build_rate_controller`, the ready-made
+controller the streaming experiment (E6) uses: observed *loss* and *delay*
+in, a multiplicative *rate adjustment* out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+class MembershipFunction:
+    """Base class: maps a crisp value to a membership degree in [0, 1]."""
+
+    def __call__(self, x: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TriangularMF(MembershipFunction):
+    """Triangle with feet at ``a`` and ``c``, peak at ``b``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if not self.a <= self.b <= self.c:
+            raise ValueError(f"triangle points must be ordered: {self}")
+
+    def __call__(self, x: float) -> float:
+        if x <= self.a or x >= self.c:
+            # The peak may sit on a boundary (shoulder triangles).
+            if x == self.b:
+                return 1.0
+            return 0.0
+        if x == self.b:
+            return 1.0
+        if x < self.b:
+            return (x - self.a) / (self.b - self.a)
+        return (self.c - x) / (self.c - self.b)
+
+
+@dataclass(frozen=True)
+class TrapezoidMF(MembershipFunction):
+    """Trapezoid with feet ``a``/``d`` and plateau ``b``..``c``."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if not self.a <= self.b <= self.c <= self.d:
+            raise ValueError(f"trapezoid points must be ordered: {self}")
+
+    def __call__(self, x: float) -> float:
+        if self.b <= x <= self.c:
+            return 1.0
+        if x <= self.a or x >= self.d:
+            return 0.0
+        if x < self.b:
+            return (x - self.a) / (self.b - self.a)
+        return (self.d - x) / (self.d - self.c)
+
+
+class LinguisticVariable:
+    """A named variable with linguistic terms over a crisp range."""
+
+    def __init__(
+        self,
+        name: str,
+        terms: Mapping[str, MembershipFunction],
+        low: float,
+        high: float,
+    ) -> None:
+        if not terms:
+            raise ValueError(f"variable {name!r} needs at least one term")
+        if low >= high:
+            raise ValueError(f"variable {name!r}: empty range [{low}, {high}]")
+        self.name = name
+        self.terms = dict(terms)
+        self.low = low
+        self.high = high
+
+    def fuzzify(self, value: float) -> Dict[str, float]:
+        """Membership degree of ``value`` in every term."""
+        clamped = min(max(value, self.low), self.high)
+        return {term: mf(clamped) for term, mf in self.terms.items()}
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """IF antecedents (conjunction) THEN consequent term.
+
+    ``antecedents`` pairs input-variable names with term names; the rule's
+    firing strength is the minimum of the antecedent memberships.
+    """
+
+    antecedents: Tuple[Tuple[str, str], ...]
+    consequent_term: str
+
+    def __post_init__(self) -> None:
+        if not self.antecedents:
+            raise ValueError("a rule needs at least one antecedent")
+
+
+class FuzzySystem:
+    """Mamdani inference: min activation, max aggregation, centroid output."""
+
+    def __init__(
+        self,
+        inputs: Sequence[LinguisticVariable],
+        output: LinguisticVariable,
+        rules: Sequence[FuzzyRule],
+        resolution: int = 101,
+    ) -> None:
+        self.inputs = {variable.name: variable for variable in inputs}
+        self.output = output
+        self.rules = list(rules)
+        self.resolution = resolution
+        for rule in self.rules:
+            for variable_name, term in rule.antecedents:
+                if variable_name not in self.inputs:
+                    raise ValueError(f"rule references unknown input {variable_name!r}")
+                if term not in self.inputs[variable_name].terms:
+                    raise ValueError(
+                        f"input {variable_name!r} has no term {term!r}"
+                    )
+            if rule.consequent_term not in output.terms:
+                raise ValueError(
+                    f"output {output.name!r} has no term {rule.consequent_term!r}"
+                )
+
+    def infer(self, **crisp_inputs: float) -> float:
+        """Run inference; returns the defuzzified crisp output.
+
+        Unknown or missing input names raise — silent defaults would turn
+        controller miswiring into quiet misbehaviour.
+        """
+        if set(crisp_inputs) != set(self.inputs):
+            raise ValueError(
+                f"inputs must be exactly {sorted(self.inputs)}, "
+                f"got {sorted(crisp_inputs)}"
+            )
+        memberships = {
+            name: variable.fuzzify(crisp_inputs[name])
+            for name, variable in self.inputs.items()
+        }
+        activations: Dict[str, float] = {}
+        for rule in self.rules:
+            strength = min(
+                memberships[variable][term] for variable, term in rule.antecedents
+            )
+            current = activations.get(rule.consequent_term, 0.0)
+            activations[rule.consequent_term] = max(current, strength)
+        return self._centroid(activations)
+
+    def _centroid(self, activations: Mapping[str, float]) -> float:
+        span = self.output.high - self.output.low
+        numerator = 0.0
+        denominator = 0.0
+        for index in range(self.resolution):
+            x = self.output.low + span * index / (self.resolution - 1)
+            degree = 0.0
+            for term, strength in activations.items():
+                if strength <= 0.0:
+                    continue
+                degree = max(degree, min(strength, self.output.terms[term](x)))
+            numerator += x * degree
+            denominator += degree
+        if denominator == 0.0:
+            return (self.output.low + self.output.high) / 2.0
+        return numerator / denominator
+
+
+def build_rate_controller() -> FuzzySystem:
+    """The media-rate controller of experiment E6 (after reference [1]).
+
+    Inputs: ``loss`` (fraction 0–1) and ``delay`` (normalized 0–1, where 1
+    means the delay budget is exhausted).  Output: a rate multiplier in
+    [0.2, 1.8] — below 1 backs off, above 1 probes for more bandwidth.
+    """
+    loss = LinguisticVariable(
+        "loss",
+        {
+            "low": TrapezoidMF(0.0, 0.0, 0.01, 0.05),
+            "medium": TriangularMF(0.02, 0.08, 0.2),
+            "high": TrapezoidMF(0.1, 0.3, 1.0, 1.0),
+        },
+        0.0,
+        1.0,
+    )
+    delay = LinguisticVariable(
+        "delay",
+        {
+            "low": TrapezoidMF(0.0, 0.0, 0.2, 0.5),
+            "high": TrapezoidMF(0.3, 0.7, 1.0, 1.0),
+        },
+        0.0,
+        1.0,
+    )
+    adjustment = LinguisticVariable(
+        "adjustment",
+        {
+            "cut": TriangularMF(0.2, 0.2, 0.6),
+            "reduce": TriangularMF(0.4, 0.7, 1.0),
+            "hold": TriangularMF(0.9, 1.0, 1.1),
+            "probe": TriangularMF(1.0, 1.4, 1.8),
+        },
+        0.2,
+        1.8,
+    )
+    rules = [
+        FuzzyRule((("loss", "high"),), "cut"),
+        FuzzyRule((("loss", "medium"), ("delay", "high")), "cut"),
+        FuzzyRule((("loss", "medium"), ("delay", "low")), "reduce"),
+        FuzzyRule((("loss", "low"), ("delay", "high")), "reduce"),
+        FuzzyRule((("loss", "low"), ("delay", "low")), "probe"),
+    ]
+    return FuzzySystem([loss, delay], adjustment, rules)

@@ -1,0 +1,28 @@
+"""Code metrics and trace verification utilities.
+
+* :mod:`repro.analysis.metrics` — static classification of source lines
+  into protocol logic vs error handling, quantifying the paper's §1 claim
+  that "typically, 50% or more of the code will deal with error checking
+  or other software control functions" in sockets-style implementations
+  (experiment E5);
+* :mod:`repro.analysis.traces` — validation of recorded machine traces:
+  chain consistency and replayability against the sealed spec.
+"""
+
+from repro.analysis.metrics import (
+    CodeMetrics,
+    error_handling_fraction,
+    measure_module,
+    measure_source,
+)
+from repro.analysis.traces import TraceValidationError, trace_summary, validate_trace
+
+__all__ = [
+    "CodeMetrics",
+    "measure_source",
+    "measure_module",
+    "error_handling_fraction",
+    "validate_trace",
+    "trace_summary",
+    "TraceValidationError",
+]

@@ -1,0 +1,182 @@
+"""Static measurement of error-handling code density.
+
+The paper claims (§1) that in sockets-style protocol code, "typically, 50%
+or more of the code will deal with error checking or other software
+control functions rather than the functionality of the protocol, and it is
+not easy to separate these aspects".  This module operationalizes the
+measurement with an AST-based classifier so experiment E5 can apply one
+impartial rule to both the hand-coded baseline and the DSL definitions.
+
+A *code line* is a physical line carrying at least one executable AST
+statement (docstrings, comments and blanks are excluded).  A statement is
+classified as **error handling** when it is:
+
+* a ``raise`` or ``assert``;
+* any statement inside an ``except`` handler (plus the handler line);
+* the ``try`` scaffolding lines themselves;
+* a guard conditional: an ``if`` whose body (and each terminal branch)
+  immediately bails — ``raise``, ``return`` of an error sentinel
+  (``None``, ``False``, or a negative constant), bare ``return``,
+  ``continue``, or ``break`` — the classic C-style check-and-bail shape;
+* a call to an obvious validation routine (name containing ``valid``,
+  ``check`` or ``unpack`` whose result feeds a guard is already covered
+  by the guard rule; direct ``validate``/``check_*`` calls count too).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Set, Union
+
+
+@dataclass(frozen=True)
+class CodeMetrics:
+    """Line counts for one measured source body."""
+
+    name: str
+    code_lines: int
+    error_handling_lines: int
+
+    @property
+    def error_fraction(self) -> float:
+        """Error-handling lines over all code lines."""
+        if self.code_lines == 0:
+            return 0.0
+        return self.error_handling_lines / self.code_lines
+
+
+def _is_error_sentinel(node: ast.AST) -> bool:
+    """None, False, or a negative numeric constant (C-style error codes)."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is False:
+            return True
+        return isinstance(node.value, (int, float)) and node.value < 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return isinstance(node.operand, ast.Constant)
+    if isinstance(node, ast.Name):
+        return node.id.upper().startswith("ERR")
+    if isinstance(node, ast.Tuple):
+        return any(_is_error_sentinel(element) for element in node.elts)
+    return False
+
+
+def _is_bail_statement(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Raise, ast.Continue, ast.Break)):
+        return True
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return True
+        return _is_error_sentinel(stmt.value)
+    return False
+
+
+def _is_guard_conditional(node: ast.If) -> bool:
+    """An ``if`` whose every branch terminal is a bail-out."""
+
+    def branch_bails(body) -> bool:
+        return bool(body) and _is_bail_statement(body[-1])
+
+    if not branch_bails(node.body):
+        return False
+    if node.orelse:
+        # elif chains: every arm must bail for the whole thing to be a guard.
+        if len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If):
+            return _is_guard_conditional(node.orelse[0])
+        return branch_bails(node.orelse)
+    return True
+
+
+_VALIDATION_NAME_MARKERS = ("validate", "check_", "verify", "assert_")
+
+
+def _is_validation_call(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return False
+    function = stmt.value.func
+    if isinstance(function, ast.Attribute):
+        name = function.attr
+    elif isinstance(function, ast.Name):
+        name = function.id
+    else:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in _VALIDATION_NAME_MARKERS)
+
+
+def _collect_lines(node: ast.AST, into: Set[int]) -> None:
+    for child in ast.walk(node):
+        lineno = getattr(child, "lineno", None)
+        if lineno is not None:
+            into.add(lineno)
+        end = getattr(child, "end_lineno", None)
+        if lineno is not None and end is not None:
+            into.update(range(lineno, end + 1))
+
+
+class _Classifier(ast.NodeVisitor):
+    """Walks a module AST, collecting code lines and error-handling lines."""
+
+    def __init__(self) -> None:
+        self.code_lines: Set[int] = set()
+        self.error_lines: Set[int] = set()
+
+    def classify(self, tree: ast.AST) -> None:
+        """Entry point."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.stmt):
+                lineno = getattr(node, "lineno", None)
+                if lineno is not None:
+                    self.code_lines.add(lineno)
+                if isinstance(node, ast.Expr) and isinstance(
+                    node.value, ast.Constant
+                ):
+                    # Docstrings / bare string expressions are not code.
+                    self.code_lines.discard(lineno)
+                    continue
+                self._classify_statement(node)
+
+    def _classify_statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            _collect_lines(node, self.error_lines)
+        elif isinstance(node, ast.Try):
+            # The try/except scaffolding and handler bodies are handling;
+            # the try body itself is protocol logic.
+            self.error_lines.add(node.lineno)
+            for handler in node.handlers:
+                _collect_lines(handler, self.error_lines)
+        elif isinstance(node, ast.If) and _is_guard_conditional(node):
+            _collect_lines(node, self.error_lines)
+        elif _is_validation_call(node):
+            _collect_lines(node, self.error_lines)
+
+
+def measure_source(source: str, name: str = "<source>") -> CodeMetrics:
+    """Measure a source string; see the module docstring for the rules."""
+    tree = ast.parse(textwrap.dedent(source))
+    classifier = _Classifier()
+    classifier.classify(tree)
+    # Error lines that are also code lines (they all should be).
+    error = classifier.error_lines & classifier.code_lines
+    return CodeMetrics(
+        name=name,
+        code_lines=len(classifier.code_lines),
+        error_handling_lines=len(error),
+    )
+
+
+def measure_module(module: Union[ModuleType, type]) -> CodeMetrics:
+    """Measure an imported module (or class) by introspecting its source."""
+    source = inspect.getsource(module)
+    name = getattr(module, "__name__", repr(module))
+    return measure_source(source, name=name)
+
+
+def error_handling_fraction(source_or_module: Union[str, ModuleType]) -> float:
+    """Convenience: the error-handling fraction of a source body."""
+    if isinstance(source_or_module, str):
+        return measure_source(source_or_module).error_fraction
+    return measure_module(source_or_module).error_fraction

@@ -1,0 +1,49 @@
+"""A miniature ASN.1: abstract types plus two encoding rule sets.
+
+Section 2.1 of the paper describes ASN.1 as the other formal comparator:
+abstract data types whose on-the-wire form is determined by a separate set
+of encoding rules, so "the use of different encoding rules can give
+different on-the-wire packets for the same ASN.1".  This package
+demonstrates exactly that property (experiment E9):
+
+* :mod:`repro.asn1.types` — the abstract syntax (INTEGER, BOOLEAN, OCTET
+  STRING, IA5String, ENUMERATED, SEQUENCE, SEQUENCE OF, CHOICE) with value
+  validation;
+* :mod:`repro.asn1.der` — a DER-style tag-length-value encoding;
+* :mod:`repro.asn1.per` — a PER-style packed encoding (no tags, bit-level,
+  constraint-aware).
+
+The same abstract value encodes to different bytes under each rule set and
+round-trips under both — and, as the paper notes, *neither* can state the
+semantic constraints the DSL carries (checksums, cross-field relations).
+"""
+
+from repro.asn1.types import (
+    Asn1Error,
+    Boolean,
+    Choice,
+    Enumerated,
+    IA5String,
+    Integer,
+    OctetString,
+    Sequence,
+    SequenceOf,
+)
+from repro.asn1.der import der_decode, der_encode
+from repro.asn1.per import per_decode, per_encode
+
+__all__ = [
+    "Asn1Error",
+    "Integer",
+    "Boolean",
+    "OctetString",
+    "IA5String",
+    "Enumerated",
+    "Sequence",
+    "SequenceOf",
+    "Choice",
+    "der_encode",
+    "der_decode",
+    "per_encode",
+    "per_decode",
+]

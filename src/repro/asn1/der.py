@@ -1,0 +1,182 @@
+"""DER-style encoding rules: tag-length-value, definite lengths.
+
+Each value carries a universal tag octet and a definite length (short form
+under 128, long form above), so the encoding is self-describing enough to
+skip unknown elements — at the price the paper's comparator discussion
+implies: bulk.  Integers are minimal two's complement, per X.690.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.asn1.types import (
+    Asn1Error,
+    Asn1Type,
+    Boolean,
+    Choice,
+    Enumerated,
+    IA5String,
+    Integer,
+    OctetString,
+    Sequence,
+    SequenceOf,
+)
+
+TAG_BOOLEAN = 0x01
+TAG_INTEGER = 0x02
+TAG_OCTET_STRING = 0x04
+TAG_ENUMERATED = 0x0A
+TAG_IA5STRING = 0x16
+TAG_SEQUENCE = 0x30  # constructed
+TAG_CONTEXT_BASE = 0xA0  # constructed, context-specific (CHOICE alternatives)
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0x80:
+        return bytes((length,))
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes((0x80 | len(body),)) + body
+
+
+def _decode_length(data: bytes, pos: int) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise Asn1Error("truncated length")
+    first = data[pos]
+    pos += 1
+    if first < 0x80:
+        return first, pos
+    count = first & 0x7F
+    if count == 0 or pos + count > len(data):
+        raise Asn1Error("malformed long-form length")
+    return int.from_bytes(data[pos : pos + count], "big"), pos + count
+
+
+def _minimal_signed(value: int) -> bytes:
+    """Minimal two's-complement representation per X.690 §8.3."""
+    if value == 0:
+        return b"\x00"
+    length = 1
+    while True:
+        try:
+            return value.to_bytes(length, "big", signed=True)
+        except OverflowError:
+            length += 1
+
+
+def _tlv(tag: int, body: bytes) -> bytes:
+    return bytes((tag,)) + _encode_length(len(body)) + body
+
+
+def der_encode(schema: Asn1Type, value: Any) -> bytes:
+    """Encode ``value`` under ``schema`` with DER-style rules."""
+    schema.validate(value)
+    return _encode(schema, value)
+
+
+def _encode(schema: Asn1Type, value: Any) -> bytes:
+    if isinstance(schema, Boolean):
+        return _tlv(TAG_BOOLEAN, b"\xff" if value else b"\x00")
+    if isinstance(schema, Integer):
+        return _tlv(TAG_INTEGER, _minimal_signed(value))
+    if isinstance(schema, OctetString):
+        return _tlv(TAG_OCTET_STRING, value)
+    if isinstance(schema, IA5String):
+        return _tlv(TAG_IA5STRING, value.encode("ascii"))
+    if isinstance(schema, Enumerated):
+        return _tlv(TAG_ENUMERATED, _minimal_signed(schema.values[value]))
+    if isinstance(schema, Sequence):
+        body = b"".join(
+            _encode(field_schema, value[name]) for name, field_schema in schema.fields
+        )
+        return _tlv(TAG_SEQUENCE, body)
+    if isinstance(schema, SequenceOf):
+        body = b"".join(_encode(schema.element, element) for element in value)
+        return _tlv(TAG_SEQUENCE, body)
+    if isinstance(schema, Choice):
+        name, inner = value
+        index = schema.index_of(name)
+        inner_schema = schema.alternatives[index][1]
+        return _tlv(TAG_CONTEXT_BASE | index, _encode(inner_schema, inner))
+    raise Asn1Error(f"cannot DER-encode schema {schema!r}")
+
+
+def der_decode(schema: Asn1Type, data: bytes) -> Any:
+    """Decode DER-style bytes under ``schema``; rejects trailing data."""
+    value, end = _decode(schema, data, 0)
+    if end != len(data):
+        raise Asn1Error(f"{len(data) - end} trailing bytes after value")
+    schema.validate(value)
+    return value
+
+
+def _expect_tag(data: bytes, pos: int, tag: int, what: str) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise Asn1Error(f"truncated {what}: no tag")
+    if data[pos] != tag:
+        raise Asn1Error(
+            f"expected tag 0x{tag:02X} for {what}, got 0x{data[pos]:02X}"
+        )
+    length, body_start = _decode_length(data, pos + 1)
+    if body_start + length > len(data):
+        raise Asn1Error(f"truncated {what}: body runs past end")
+    return body_start, body_start + length
+
+
+def _decode(schema: Asn1Type, data: bytes, pos: int) -> Tuple[Any, int]:
+    if isinstance(schema, Boolean):
+        start, end = _expect_tag(data, pos, TAG_BOOLEAN, "BOOLEAN")
+        if end - start != 1:
+            raise Asn1Error("BOOLEAN body must be one octet")
+        return data[start] != 0, end
+    if isinstance(schema, Integer):
+        start, end = _expect_tag(data, pos, TAG_INTEGER, "INTEGER")
+        if start == end:
+            raise Asn1Error("INTEGER body must be non-empty")
+        return int.from_bytes(data[start:end], "big", signed=True), end
+    if isinstance(schema, OctetString):
+        start, end = _expect_tag(data, pos, TAG_OCTET_STRING, "OCTET STRING")
+        return data[start:end], end
+    if isinstance(schema, IA5String):
+        start, end = _expect_tag(data, pos, TAG_IA5STRING, "IA5String")
+        try:
+            return data[start:end].decode("ascii"), end
+        except UnicodeDecodeError:
+            raise Asn1Error("IA5String body contains non-ASCII bytes") from None
+    if isinstance(schema, Enumerated):
+        start, end = _expect_tag(data, pos, TAG_ENUMERATED, "ENUMERATED")
+        number = int.from_bytes(data[start:end], "big", signed=True)
+        if number not in schema.by_number:
+            raise Asn1Error(f"ENUMERATED number {number} has no name")
+        return schema.by_number[number], end
+    if isinstance(schema, Sequence):
+        start, end = _expect_tag(data, pos, TAG_SEQUENCE, "SEQUENCE")
+        record = {}
+        cursor = start
+        for name, field_schema in schema.fields:
+            record[name], cursor = _decode(field_schema, data, cursor)
+        if cursor != end:
+            raise Asn1Error("SEQUENCE body has trailing content")
+        return record, end
+    if isinstance(schema, SequenceOf):
+        start, end = _expect_tag(data, pos, TAG_SEQUENCE, "SEQUENCE OF")
+        elements = []
+        cursor = start
+        while cursor < end:
+            element, cursor = _decode(schema.element, data, cursor)
+            elements.append(element)
+        return elements, end
+    if isinstance(schema, Choice):
+        if pos >= len(data):
+            raise Asn1Error("truncated CHOICE")
+        tag = data[pos]
+        index = tag - TAG_CONTEXT_BASE
+        if not 0 <= index < len(schema.alternatives):
+            raise Asn1Error(f"CHOICE tag 0x{tag:02X} selects no alternative")
+        start, end = _expect_tag(data, pos, tag, "CHOICE")
+        name, inner_schema = schema.alternatives[index]
+        inner, cursor = _decode(inner_schema, data, start)
+        if cursor != end:
+            raise Asn1Error("CHOICE body has trailing content")
+        return (name, inner), end
+    raise Asn1Error(f"cannot DER-decode schema {schema!r}")

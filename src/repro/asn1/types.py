@@ -1,0 +1,214 @@
+"""Abstract syntax: the type system of the mini-ASN.1.
+
+A schema is a tree of type objects; values are plain Python data checked
+against the schema by :meth:`Asn1Type.validate`:
+
+========== ==========================
+schema      Python value
+========== ==========================
+Integer     int
+Boolean     bool
+OctetString bytes
+IA5String   str (ASCII)
+Enumerated  str (one of the names)
+Sequence    dict (field name -> value)
+SequenceOf  list
+Choice      (name, value) tuple
+========== ==========================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence as Seq, Tuple
+
+
+class Asn1Error(ValueError):
+    """Raised for schema violations and undecodable data."""
+
+
+class Asn1Type:
+    """Base class for abstract types."""
+
+    type_name = "ANY"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`Asn1Error` unless ``value`` inhabits the type."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.type_name
+
+
+class Integer(Asn1Type):
+    """INTEGER, optionally with a (lo, hi) value constraint.
+
+    Constraints matter to the PER-style rules, which pack constrained
+    integers into the minimal number of bits — the clearest demonstration
+    that encoding rules, not the abstract syntax, decide the wire bytes.
+    """
+
+    type_name = "INTEGER"
+
+    def __init__(
+        self, low: Optional[int] = None, high: Optional[int] = None
+    ) -> None:
+        if low is not None and high is not None and low > high:
+            raise Asn1Error(f"inverted INTEGER constraint ({low}, {high})")
+        self.low = low
+        self.high = high
+
+    @property
+    def is_constrained(self) -> bool:
+        """True when both bounds are present."""
+        return self.low is not None and self.high is not None
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise Asn1Error(f"INTEGER requires int, got {value!r}")
+        if self.low is not None and value < self.low:
+            raise Asn1Error(f"INTEGER {value} below constraint {self.low}")
+        if self.high is not None and value > self.high:
+            raise Asn1Error(f"INTEGER {value} above constraint {self.high}")
+
+
+class Boolean(Asn1Type):
+    """BOOLEAN."""
+
+    type_name = "BOOLEAN"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, bool):
+            raise Asn1Error(f"BOOLEAN requires bool, got {value!r}")
+
+
+class OctetString(Asn1Type):
+    """OCTET STRING, optionally size-constrained."""
+
+    type_name = "OCTET STRING"
+
+    def __init__(
+        self, min_size: Optional[int] = None, max_size: Optional[int] = None
+    ) -> None:
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, bytes):
+            raise Asn1Error(f"OCTET STRING requires bytes, got {value!r}")
+        if self.min_size is not None and len(value) < self.min_size:
+            raise Asn1Error(
+                f"OCTET STRING of {len(value)} bytes below size {self.min_size}"
+            )
+        if self.max_size is not None and len(value) > self.max_size:
+            raise Asn1Error(
+                f"OCTET STRING of {len(value)} bytes above size {self.max_size}"
+            )
+
+
+class IA5String(Asn1Type):
+    """IA5String: ASCII text."""
+
+    type_name = "IA5String"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, str):
+            raise Asn1Error(f"IA5String requires str, got {value!r}")
+        try:
+            value.encode("ascii")
+        except UnicodeEncodeError:
+            raise Asn1Error(f"IA5String must be ASCII: {value!r}") from None
+
+
+class Enumerated(Asn1Type):
+    """ENUMERATED: named alternatives mapped to integers."""
+
+    type_name = "ENUMERATED"
+
+    def __init__(self, values: Dict[str, int]) -> None:
+        if not values:
+            raise Asn1Error("ENUMERATED requires at least one alternative")
+        if len(set(values.values())) != len(values):
+            raise Asn1Error("ENUMERATED values must be distinct")
+        self.values = dict(values)
+        self.by_number = {number: name for name, number in values.items()}
+
+    def validate(self, value: Any) -> None:
+        if value not in self.values:
+            raise Asn1Error(
+                f"ENUMERATED value {value!r} not in {sorted(self.values)}"
+            )
+
+
+class Sequence(Asn1Type):
+    """SEQUENCE: an ordered record of named, typed fields."""
+
+    type_name = "SEQUENCE"
+
+    def __init__(self, fields: Seq[Tuple[str, Asn1Type]]) -> None:
+        if not fields:
+            raise Asn1Error("SEQUENCE requires at least one field")
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names):
+            raise Asn1Error("SEQUENCE field names must be distinct")
+        self.fields: List[Tuple[str, Asn1Type]] = list(fields)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, dict):
+            raise Asn1Error(f"SEQUENCE requires dict, got {value!r}")
+        expected = {name for name, _ in self.fields}
+        actual = set(value)
+        if expected != actual:
+            raise Asn1Error(
+                f"SEQUENCE fields mismatch: expected {sorted(expected)}, "
+                f"got {sorted(actual)}"
+            )
+        for name, schema in self.fields:
+            schema.validate(value[name])
+
+
+class SequenceOf(Asn1Type):
+    """SEQUENCE OF: a homogeneous list."""
+
+    type_name = "SEQUENCE OF"
+
+    def __init__(self, element: Asn1Type, max_size: Optional[int] = None) -> None:
+        self.element = element
+        self.max_size = max_size
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, list):
+            raise Asn1Error(f"SEQUENCE OF requires list, got {value!r}")
+        if self.max_size is not None and len(value) > self.max_size:
+            raise Asn1Error(
+                f"SEQUENCE OF with {len(value)} elements exceeds {self.max_size}"
+            )
+        for element in value:
+            self.element.validate(element)
+
+
+class Choice(Asn1Type):
+    """CHOICE: exactly one of several named alternatives."""
+
+    type_name = "CHOICE"
+
+    def __init__(self, alternatives: Seq[Tuple[str, Asn1Type]]) -> None:
+        if not alternatives:
+            raise Asn1Error("CHOICE requires at least one alternative")
+        names = [name for name, _ in alternatives]
+        if len(set(names)) != len(names):
+            raise Asn1Error("CHOICE alternative names must be distinct")
+        self.alternatives: List[Tuple[str, Asn1Type]] = list(alternatives)
+
+    def index_of(self, name: str) -> int:
+        """Position of a named alternative."""
+        for index, (alt_name, _) in enumerate(self.alternatives):
+            if alt_name == name:
+                return index
+        raise Asn1Error(f"CHOICE has no alternative {name!r}")
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, tuple) or len(value) != 2:
+            raise Asn1Error(f"CHOICE requires (name, value), got {value!r}")
+        name, inner = value
+        index = self.index_of(name)
+        self.alternatives[index][1].validate(inner)

@@ -1,0 +1,26 @@
+"""Hand-coded, sockets-style protocol implementations (the §1 comparator).
+
+The paper opens with the C sockets experience: manual byte packing,
+pervasive error checking tangled into protocol logic, and bugs that a type
+system would have caught.  :mod:`repro.baseline.sockets_arq` is that
+style of code, written deliberately and honestly — ``struct`` packing,
+sentinel error codes, manual state flags — plus **seedable bugs**
+(:data:`~repro.baseline.sockets_arq.KNOWN_BUGS`), each a one-line mistake
+of a kind the DSL makes unrepresentable.  Experiment E1 injects faults and
+counts the protocol violations each variant lets through; experiment E5
+measures how much of this code is error handling.
+"""
+
+from repro.baseline.sockets_arq import (
+    KNOWN_BUGS,
+    SocketsStyleReceiver,
+    SocketsStyleSender,
+    run_baseline_transfer,
+)
+
+__all__ = [
+    "SocketsStyleSender",
+    "SocketsStyleReceiver",
+    "run_baseline_transfer",
+    "KNOWN_BUGS",
+]

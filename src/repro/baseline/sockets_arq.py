@@ -1,0 +1,297 @@
+"""A stop-and-wait ARQ written the way the paper says protocols get written.
+
+This module is the control group.  It implements the *same* protocol as
+:mod:`repro.protocols.arq`, against the same simulator, but in classic
+C-sockets style: ``struct`` packing with hand-tracked offsets, sentinel
+error codes, manual state flags, and validation logic interleaved with
+protocol logic.  Nothing here touches :mod:`repro.core` — that is the
+point.
+
+The ``bug`` parameter seeds one of four realistic, one-line mistakes
+(:data:`KNOWN_BUGS`).  Each has a direct DSL counterpart that *cannot be
+written*:
+
+=================  ====================================================
+bug                why the DSL forbids the equivalent
+=================  ====================================================
+skip_checksum      RECV requires a ``Verified`` packet; there is no
+                   path from raw bytes to processing that skips
+                   verification.
+accept_any_ack     OK's guard ties the ack's sequence number to the
+                   state index; OK demands a ``Verified[ArqAck]``.
+bad_dup_check      the duplicate guard compares against the dependent
+                   state parameter, not a hand-maintained counter.
+forget_timer       not a type error even in the DSL — but the sender
+                   machine's completeness declaration forces a ``timer``
+                   handler to *exist*; here the handler exists and is
+                   silently never armed.
+=================  ====================================================
+
+Wire format (identical to the DSL spec, so the two interoperate):
+``seq:1  chk:1  len:1  payload:len`` for data, ``seq:1  chk:1`` for acks,
+with ``chk`` an XOR over the other bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.netsim.channel import ChannelConfig
+from repro.netsim.node import DuplexLink, Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.timers import Timer
+
+# Error codes, C style.
+ERR_OK = 0
+ERR_TOO_SHORT = -1
+ERR_BAD_LENGTH = -2
+ERR_BAD_CHECKSUM = -3
+ERR_BAD_SEQ = -4
+
+KNOWN_BUGS = ("skip_checksum", "accept_any_ack", "bad_dup_check", "forget_timer")
+
+
+def _xor(data: bytes) -> int:
+    value = 0
+    for byte in data:
+        value ^= byte
+    return value
+
+
+def pack_data(seq: int, payload: bytes) -> bytes:
+    """Manually pack a data frame (header offsets tracked by hand)."""
+    if not 0 <= seq <= 255:
+        raise ValueError("seq out of range")
+    if len(payload) > 255:
+        raise ValueError("payload too long")
+    chk = _xor(bytes((seq, len(payload))) + payload)
+    return struct.pack("!BBB", seq, chk, len(payload)) + payload
+
+
+def unpack_data(frame: bytes, validate_checksum: bool = True):
+    """Manually unpack a data frame; returns (err, seq, payload)."""
+    if len(frame) < 3:
+        return ERR_TOO_SHORT, 0, b""
+    seq, chk, length = struct.unpack("!BBB", frame[:3])
+    payload = frame[3:]
+    if len(payload) != length:
+        return ERR_BAD_LENGTH, seq, b""
+    if validate_checksum:
+        expected = _xor(bytes((seq, length)) + payload)
+        if chk != expected:
+            return ERR_BAD_CHECKSUM, seq, b""
+    return ERR_OK, seq, payload
+
+
+def pack_ack(seq: int) -> bytes:
+    """Manually pack an acknowledgement frame."""
+    return struct.pack("!BB", seq, _xor(bytes((seq,))))
+
+
+def unpack_ack(frame: bytes):
+    """Manually unpack an ack; returns (err, seq)."""
+    if len(frame) != 2:
+        return ERR_TOO_SHORT, 0
+    seq, chk = struct.unpack("!BB", frame)
+    if chk != _xor(bytes((seq,))):
+        return ERR_BAD_CHECKSUM, seq
+    return ERR_OK, seq
+
+
+class SocketsStyleSender:
+    """The hand-rolled sender: state is a string flag plus counters."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        peer_name: str,
+        messages: Sequence[bytes],
+        rto: float = 0.5,
+        max_retries: int = 25,
+        bug: Optional[str] = None,
+    ) -> None:
+        if bug is not None and bug not in KNOWN_BUGS:
+            raise ValueError(f"unknown bug {bug!r}; known: {KNOWN_BUGS}")
+        self.sim = sim
+        self.node = node
+        self.peer_name = peer_name
+        self.queue: List[bytes] = list(messages)
+        self.rto = rto
+        self.max_retries = max_retries
+        self.bug = bug
+        self.state = "ready"  # "ready" | "wait" | "done" | "failed"
+        self.seq = 0
+        self.retries = 0
+        self.retransmissions = 0
+        self.frames_sent = 0
+        self.timer = Timer(sim, rto, self._on_timeout, name="baseline-rto")
+        node.on_receive(self._on_frame)
+
+    @property
+    def done(self) -> bool:
+        """True when the transfer finished."""
+        return self.state == "done"
+
+    @property
+    def failed(self) -> bool:
+        """True when retries were exhausted."""
+        return self.state == "failed"
+
+    def start(self) -> None:
+        """Begin the transfer."""
+        self._send_next()
+
+    def _send_next(self) -> None:
+        if not self.queue:
+            self.state = "done"
+            self.timer.stop()
+            return
+        self.state = "wait"
+        self.retries = 0
+        self._transmit()
+        self.timer.start(self.rto)
+
+    def _transmit(self) -> None:
+        frame = pack_data(self.seq, self.queue[0])
+        self.node.send(self.peer_name, frame)
+        self.frames_sent += 1
+
+    def _on_frame(self, frame: bytes, sender: str) -> None:
+        if self.state != "wait":
+            return
+        err, ack_seq = unpack_ack(frame)
+        if self.bug == "accept_any_ack":
+            # BUG: advance on *any* frame that parses as two bytes, without
+            # checking the checksum result or the sequence number.  A
+            # corrupted or stale ack silently skips a message.
+            if len(frame) == 2:
+                self._accept_ack()
+            return
+        if err != ERR_OK:
+            self._transmit()  # bad ack: resend immediately
+            self.retransmissions += 1
+            return
+        if ack_seq != self.seq:
+            self._transmit()
+            self.retransmissions += 1
+            return
+        self._accept_ack()
+
+    def _accept_ack(self) -> None:
+        self.timer.stop()
+        self.queue.pop(0)
+        self.seq = (self.seq + 1) % 256
+        self.state = "ready"
+        self._send_next()
+
+    def _on_timeout(self) -> None:
+        if self.state != "wait":
+            return
+        if self.retries >= self.max_retries:
+            self.state = "failed"
+            return
+        self.retries += 1
+        self.retransmissions += 1
+        self._transmit()
+        if self.bug != "forget_timer":
+            self.timer.start(self.rto)
+        # BUG(forget_timer): the retransmission is sent but the timer is
+        # never re-armed; if this retransmission (or its ack) is lost, the
+        # transfer silently hangs forever.
+
+
+class SocketsStyleReceiver:
+    """The hand-rolled receiver: expected-seq counter plus manual checks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        peer_name: str,
+        bug: Optional[str] = None,
+    ) -> None:
+        if bug is not None and bug not in KNOWN_BUGS:
+            raise ValueError(f"unknown bug {bug!r}; known: {KNOWN_BUGS}")
+        self.sim = sim
+        self.node = node
+        self.peer_name = peer_name
+        self.bug = bug
+        self.expected = 0
+        self.delivered: List[bytes] = []
+        self.acks_sent = 0
+        self.rejected = 0
+        node.on_receive(self._on_frame)
+
+    def _on_frame(self, frame: bytes, sender: str) -> None:
+        validate = self.bug != "skip_checksum"
+        # BUG(skip_checksum): checksum validation disabled — corrupted
+        # payloads flow straight into the application.
+        err, seq, payload = unpack_data(frame, validate_checksum=validate)
+        if err != ERR_OK:
+            self.rejected += 1
+            return
+        if seq == self.expected:
+            self.delivered.append(payload)
+            self.expected = (self.expected + 1) % 256
+            self._ack(seq)
+        elif self.bug == "bad_dup_check":
+            # BUG: sloppy duplicate handling — any non-expected sequence
+            # number is treated as new data instead of being re-acked or
+            # dropped, so duplicates and strays reach the application.
+            self.delivered.append(payload)
+            self._ack(seq)
+        elif seq == (self.expected - 1) % 256:
+            self._ack(seq)  # duplicate of the previous packet: re-ack
+        else:
+            self.rejected += 1
+
+    def _ack(self, seq: int) -> None:
+        self.node.send(self.peer_name, pack_ack(seq))
+        self.acks_sent += 1
+
+
+def run_baseline_transfer(
+    messages: Sequence[bytes],
+    config: Optional[ChannelConfig] = None,
+    seed: int = 0,
+    rto: float = 0.5,
+    max_retries: int = 25,
+    sender_bug: Optional[str] = None,
+    receiver_bug: Optional[str] = None,
+    max_events: int = 2_000_000,
+):
+    """Run the hand-coded ARQ; returns the same TransferReport as the DSL.
+
+    ``max_events`` bounds the simulation because the ``forget_timer`` bug
+    can hang a transfer forever — itself a finding.
+    """
+    from repro.protocols.arq import TransferReport, check_transfer_invariants
+
+    sim = Simulator()
+    sender_node = Node(sim, "sender")
+    receiver_node = Node(sim, "receiver")
+    DuplexLink(sim, sender_node, receiver_node, config or ChannelConfig(), seed=seed)
+    receiver = SocketsStyleReceiver(sim, receiver_node, "sender", bug=receiver_bug)
+    sender = SocketsStyleSender(
+        sim, sender_node, "receiver", messages,
+        rto=rto, max_retries=max_retries, bug=sender_bug,
+    )
+    sender.start()
+    sim.run_until(lambda: sender.done or sender.failed, max_events=max_events)
+    sim.run(until=sim.now + 2 * rto)
+    delivered = list(receiver.delivered)
+    violations = check_transfer_invariants(messages, delivered)
+    return TransferReport(
+        success=sender.done and delivered == list(messages),
+        messages=list(messages),
+        delivered=delivered,
+        retransmissions=sender.retransmissions,
+        data_frames_sent=sender.frames_sent,
+        ack_frames_sent=receiver.acks_sent,
+        rejected_frames=receiver.rejected,
+        duration=sim.now,
+        violations=violations,
+    )

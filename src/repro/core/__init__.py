@@ -1,0 +1,158 @@
+"""The protocol DSL: the paper's primary contribution.
+
+Three integrated layers (paper §3.2):
+
+i.   **Packet structure** — :class:`PacketSpec` with dependent field shapes
+     and semantic constraints, validated at definition time;
+ii.  **States and transitions** — :class:`MachineSpec` with parameterized
+     states and typed transitions, checked for soundness and completeness
+     at seal time;
+iii. **Execution** — :class:`Machine` with ``exec_trans``, which can only
+     run transitions that are valid *and* supplied with the evidence
+     (``Verified`` packets) their types demand.
+
+Import from here for the public API::
+
+    from repro.core import (
+        PacketSpec, UInt, Bytes, ChecksumField, this,
+        MachineSpec, Param, Var, Machine,
+    )
+"""
+
+from repro.core.abnf_export import export_abnf
+from repro.core.ascii_art import RenderError, diagram_rows, render_header_diagram
+from repro.core.checker import CheckReport, check_machine
+from repro.core.codec import DecodeError, ExtraDataError
+from repro.core.compile import (
+    CodegenError,
+    CompiledCodec,
+    compile_spec,
+    generate_codec_source,
+)
+from repro.core.constraints import Constraint, ConstraintViolation
+from repro.core.docgen import (
+    document_machine_spec,
+    document_packet_spec,
+    machine_to_dot,
+)
+from repro.core.ops import (
+    InconsistentEndStateError,
+    OpContractError,
+    OpOutcome,
+    ProtocolOp,
+    WrongStartStateError,
+)
+from repro.core.fields import (
+    Bytes,
+    ChecksumField,
+    Field,
+    FieldValueError,
+    Flag,
+    Reserved,
+    Struct,
+    Switch,
+    UInt,
+    UIntList,
+)
+from repro.core.machine import (
+    InvalidTransitionError,
+    Machine,
+    TraceStep,
+    UnverifiedPayloadError,
+    replay_trace,
+)
+from repro.core.packet import Packet, PacketSpec, SpecError, VerificationError
+from repro.core.statemachine import (
+    MachineSpec,
+    MachineSpecError,
+    Param,
+    StateInstance,
+    StatePattern,
+    StateSpec,
+    TransitionSpec,
+)
+from repro.core.symbolic import (
+    Const,
+    Expr,
+    FieldRef,
+    Predicate,
+    UnificationError,
+    Var,
+    this,
+    unify,
+)
+from repro.core.verified import (
+    Certificate,
+    ForgedProofError,
+    MissingEvidenceError,
+    Verified,
+)
+
+__all__ = [
+    # packets
+    "PacketSpec",
+    "Packet",
+    "SpecError",
+    "VerificationError",
+    "Field",
+    "UInt",
+    "Flag",
+    "Reserved",
+    "Bytes",
+    "UIntList",
+    "ChecksumField",
+    "Struct",
+    "Switch",
+    "FieldValueError",
+    "Constraint",
+    "ConstraintViolation",
+    "DecodeError",
+    "ExtraDataError",
+    # proofs
+    "Verified",
+    "Certificate",
+    "ForgedProofError",
+    "MissingEvidenceError",
+    # symbolic
+    "Expr",
+    "Const",
+    "Var",
+    "FieldRef",
+    "Predicate",
+    "this",
+    "unify",
+    "UnificationError",
+    # machines
+    "MachineSpec",
+    "MachineSpecError",
+    "Param",
+    "StateSpec",
+    "StatePattern",
+    "StateInstance",
+    "TransitionSpec",
+    "Machine",
+    "InvalidTransitionError",
+    "UnverifiedPayloadError",
+    "TraceStep",
+    "replay_trace",
+    "CheckReport",
+    "check_machine",
+    # typed operations
+    "ProtocolOp",
+    "OpOutcome",
+    "OpContractError",
+    "WrongStartStateError",
+    "InconsistentEndStateError",
+    # derived artifacts
+    "document_packet_spec",
+    "document_machine_spec",
+    "machine_to_dot",
+    "render_header_diagram",
+    "diagram_rows",
+    "RenderError",
+    "export_abnf",
+    "generate_codec_source",
+    "compile_spec",
+    "CompiledCodec",
+    "CodegenError",
+]

@@ -1,0 +1,142 @@
+"""Export packet specs to RFC 5234 ABNF grammars.
+
+The paper positions ABNF as a *syntactic* description technique (§2.1):
+machine-parseable, but unable to carry the semantic constraints the DSL
+holds.  This exporter derives an ABNF grammar from a
+:class:`~repro.core.packet.PacketSpec`, demonstrating the containment the
+paper claims: everything ABNF can say about one of our packet formats is
+mechanically derivable from the spec, while the reverse direction would
+lose the checksum, constant, enumeration and dependency information (the
+export appends those as ABNF comments, since the notation itself cannot
+express them).
+
+The exported grammar describes the packet at **byte granularity**: sub-byte
+fields are grouped into synthetic octet rules annotated with their bit
+layout in comments, exactly as RFC authors do in prose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.fields import (
+    Bytes,
+    ChecksumField,
+    Flag,
+    Reserved,
+    Struct,
+    Switch,
+    UInt,
+    UIntList,
+)
+
+
+def _rule_name(spec_name: str, suffix: str = "") -> str:
+    """ABNF rule names: lower-case, hyphenated."""
+    base = spec_name.replace("_", "-").lower()
+    return f"{base}-{suffix}" if suffix else base
+
+
+def _octet_count(bits: int) -> str:
+    count = bits // 8
+    return "OCTET" if count == 1 else f"{count}OCTET"
+
+
+def export_abnf(spec: Any) -> str:
+    """Render an ABNF grammar (plus semantic-gap comments) for ``spec``."""
+    lines: List[str] = []
+    lines.append(f"; ABNF for {spec.name} (generated from the protocol DSL)")
+    if spec.doc:
+        lines.append(f"; {spec.doc.splitlines()[0]}")
+    lines.append("; Core rules per RFC 5234: OCTET = %x00-FF")
+    lines.append("")
+    elements: List[str] = []
+    definitions: List[str] = []
+    semantic_notes: List[str] = []
+    pending_bits: List[Any] = []
+    pending_width = 0
+    group_index = 0
+
+    def flush_bit_group() -> None:
+        nonlocal pending_bits, pending_width, group_index
+        if not pending_bits:
+            return
+        if pending_width % 8 != 0:
+            raise ValueError(
+                f"spec {spec.name!r}: bit fields sum to {pending_width} bits, "
+                "not exportable at octet granularity"
+            )
+        group_index += 1
+        name = _rule_name(spec.name, f"bits{group_index}")
+        elements.append(name)
+        layout = " ".join(f"{f.name}:{f.fixed_bit_width()}" for f in pending_bits)
+        definitions.append(f"{name} = {_octet_count(pending_width)}")
+        definitions.append(f"   ; bit layout (msb first): {layout}")
+        pending_bits = []
+        pending_width = 0
+
+    for field in spec.fields:
+        width = field.fixed_bit_width()
+        if isinstance(field, (UInt, Flag, Reserved, ChecksumField)) and width is not None:
+            if width % 8 != 0 or pending_bits:
+                pending_bits.append(field)
+                pending_width += width
+                if pending_width % 8 == 0:
+                    flush_bit_group()
+                continue
+            name = _rule_name(spec.name, field.name.replace("_", "-"))
+            elements.append(name)
+            definitions.append(f"{name} = {_octet_count(width)}")
+            if isinstance(field, UInt) and field.const is not None:
+                semantic_notes.append(
+                    f"; {field.name} is fixed to {field.const} — expressible "
+                    "in ABNF only as a literal, checked semantically by the DSL"
+                )
+            if isinstance(field, ChecksumField):
+                semantic_notes.append(
+                    f"; {field.name} must equal {field.algorithm.name} over "
+                    "covered fields — NOT expressible in ABNF"
+                )
+        elif isinstance(field, Bytes):
+            name = _rule_name(spec.name, field.name.replace("_", "-"))
+            elements.append(name)
+            if field.is_greedy:
+                definitions.append(f"{name} = *OCTET")
+            elif not field.length.free_variables():
+                definitions.append(
+                    f"{name} = {_octet_count(field.length.evaluate({}) * 8)}"
+                )
+            else:
+                definitions.append(f"{name} = *OCTET")
+                semantic_notes.append(
+                    f"; {field.name} length is {field.length} — dependent "
+                    "lengths are NOT expressible in ABNF"
+                )
+        elif isinstance(field, UIntList):
+            name = _rule_name(spec.name, field.name.replace("_", "-"))
+            elements.append(name)
+            definitions.append(f"{name} = *OCTET")
+            semantic_notes.append(
+                f"; {field.name} is {field.count} elements of "
+                f"{field.element_bits} bits — dependent counts are NOT "
+                "expressible in ABNF"
+            )
+        elif isinstance(field, (Struct, Switch)):
+            name = _rule_name(spec.name, field.name.replace("_", "-"))
+            elements.append(name)
+            definitions.append(f"{name} = *OCTET   ; nested structure")
+        else:
+            raise ValueError(f"cannot export field {field!r} to ABNF")
+    flush_bit_group()
+
+    lines.append(f"{_rule_name(spec.name)} = " + " ".join(elements))
+    lines.append("")
+    lines.extend(definitions)
+    if semantic_notes:
+        lines.append("")
+        lines.append("; --- semantic constraints beyond ABNF ---")
+        lines.extend(semantic_notes)
+        for constraint in spec.constraints:
+            if constraint.doc:
+                lines.append(f"; constraint {constraint.name}: {constraint.doc}")
+    return "\n".join(lines)

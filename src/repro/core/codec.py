@@ -1,0 +1,188 @@
+"""The codec engine: interprets a packet spec to encode and decode bytes.
+
+Encoding is split into two layers:
+
+* :func:`encode_verbatim` — single-pass, writes exactly the values a packet
+  carries (checksums included).  This makes ``decode(encode(p)) == p`` hold
+  bit-exactly for *every* representable packet, valid or not — a property
+  the round-trip test suite and the differential codegen tests rely on.
+* :func:`compute_checksums` — the two-pass "make" path: encodes with
+  checksum placeholders, derives each checksum from the covered byte
+  region, and returns the completed value environment.
+
+Decoding (:func:`decode_packet`) walks fields in order, feeding previously
+decoded integer values into the environment so dependent shapes (lengths,
+switch discriminators) resolve — the operational reading of the paper's
+dependent records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.core.fields import ChecksumField, Field, FieldValueError
+from repro.wire.bits import BitReader, BitWriter
+
+
+class DecodeError(ValueError):
+    """Raised when bytes cannot be decoded under a spec."""
+
+    def __init__(self, spec_name: str, message: str) -> None:
+        self.spec_name = spec_name
+        super().__init__(f"cannot decode {spec_name!r}: {message}")
+
+
+class ExtraDataError(DecodeError):
+    """Raised when decoding leaves unconsumed bits."""
+
+    def __init__(self, spec_name: str, extra_bits: int) -> None:
+        self.extra_bits = extra_bits
+        super().__init__(spec_name, f"{extra_bits} unconsumed bits after packet")
+
+
+Span = Tuple[int, int]  # (start_bit, end_bit), half-open
+
+
+def _extract_bits(buffer: bytes, start_bit: int, end_bit: int) -> bytes:
+    """Extract the half-open bit range as bytes (must be a whole byte count)."""
+    width = end_bit - start_bit
+    if width % 8 != 0:
+        raise ValueError(
+            f"bit range [{start_bit}, {end_bit}) spans {width} bits, "
+            "which is not a whole number of bytes"
+        )
+    if start_bit % 8 == 0:
+        return buffer[start_bit // 8 : end_bit // 8]
+    reader = BitReader(buffer)
+    reader.read_uint(start_bit)  # discard the prefix before the span
+    return bytes(reader.read_uint(8) for _ in range(width // 8))
+
+
+def _patch_bits(buffer: bytearray, start_bit: int, width: int, value: int) -> None:
+    """Overwrite ``width`` bits of ``buffer`` at ``start_bit`` with ``value``."""
+    for offset in range(width):
+        bit = (value >> (width - 1 - offset)) & 1
+        position = start_bit + offset
+        byte_index = position // 8
+        mask = 1 << (7 - position % 8)
+        if bit:
+            buffer[byte_index] |= mask
+        else:
+            buffer[byte_index] &= ~mask & 0xFF
+
+
+def _zeroed(buffer: bytes, span: Span) -> bytes:
+    """Return a copy of ``buffer`` with the span's bits cleared."""
+    patched = bytearray(buffer)
+    _patch_bits(patched, span[0], span[1] - span[0], 0)
+    return bytes(patched)
+
+
+def _encode_fields(
+    spec: Any,
+    values: Mapping[str, Any],
+) -> Tuple[bytes, Dict[str, Span]]:
+    """Encode every field verbatim, recording each field's bit span."""
+    writer = BitWriter()
+    spans: Dict[str, Span] = {}
+    env: Dict[str, int] = {}
+    for field in spec.fields:
+        start = writer.bit_length
+        value = values[field.name]
+        try:
+            field.encode(writer, value, env)
+        except FieldValueError:
+            raise
+        spans[field.name] = (start, writer.bit_length)
+        if field.is_integer_valued():
+            env[field.name] = int(value)
+    return writer.getvalue(), spans
+
+
+def encode_verbatim(spec: Any, values: Mapping[str, Any]) -> bytes:
+    """Encode a complete value environment exactly as given."""
+    encoded, _ = _encode_fields(spec, values)
+    return encoded
+
+
+def checksum_cover(
+    spec: Any,
+    field: ChecksumField,
+    buffer: bytes,
+    spans: Mapping[str, Span],
+) -> bytes:
+    """The byte region a checksum field covers, given an encoded buffer.
+
+    For ``over="*"`` the cover is the whole buffer with the checksum's own
+    span zeroed (RFC 791 style); otherwise it is the concatenation of the
+    named fields' encoded bytes.
+    """
+    if field.covers_whole_packet:
+        return _zeroed(buffer, spans[field.name])
+    pieces: List[bytes] = []
+    for name in field.over or ():
+        start, end = spans[name]
+        pieces.append(_extract_bits(buffer, start, end))
+    return b"".join(pieces)
+
+
+def compute_checksums(spec: Any, values: Mapping[str, Any]) -> Dict[str, Any]:
+    """Fill in every checksum field of a value environment.
+
+    Non-checksum values are passed through unchanged.  Checksums are
+    computed in field order over a buffer in which *later* checksums are
+    still zero — multi-checksum specs should therefore order dependent
+    checksums after their inputs (the spec validator warns otherwise).
+    """
+    working: Dict[str, Any] = dict(values)
+    for field in spec.fields:
+        if isinstance(field, ChecksumField):
+            working[field.name] = 0
+    buffer, spans = _encode_fields(spec, working)
+    patched = bytearray(buffer)
+    for field in spec.fields:
+        if not isinstance(field, ChecksumField):
+            continue
+        cover = checksum_cover(spec, field, bytes(patched), spans)
+        value = field.compute(cover)
+        working[field.name] = value
+        start, end = spans[field.name]
+        _patch_bits(patched, start, end - start, value)
+    return working
+
+
+def compute_one_checksum(spec: Any, values: Mapping[str, Any], field_name: str) -> int:
+    """Recompute a single checksum from a packet's own values.
+
+    Used by verification: the other fields (including sibling checksums)
+    keep their *carried* values, and only the target field is zeroed when
+    it covers the whole packet.
+    """
+    field = spec.field_map[field_name]
+    if not isinstance(field, ChecksumField):
+        raise ValueError(f"{field_name!r} is not a checksum field")
+    buffer, spans = _encode_fields(spec, values)
+    cover = checksum_cover(spec, field, buffer, spans)
+    return field.compute(cover)
+
+
+def decode_packet(spec: Any, data: bytes) -> Dict[str, Any]:
+    """Decode bytes into a value environment under ``spec``.
+
+    Raises :class:`DecodeError` on truncation and
+    :class:`ExtraDataError` when trailing bits remain.
+    """
+    reader = BitReader(data)
+    values: Dict[str, Any] = {}
+    env: Dict[str, int] = {}
+    for field in spec.fields:
+        try:
+            value = field.decode(reader, env)
+        except (ValueError, IndexError) as exc:
+            raise DecodeError(spec.name, f"field {field.name!r}: {exc}") from exc
+        values[field.name] = value
+        if field.is_integer_valued():
+            env[field.name] = int(value)
+    if not reader.at_end:
+        raise ExtraDataError(spec.name, reader.bits_remaining)
+    return values

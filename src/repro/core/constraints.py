@@ -1,0 +1,130 @@
+"""Semantic constraints on packets.
+
+ABNF and ASN.1 stop at syntax; the paper's point is that a protocol DSL
+must also carry *semantic* constraints — "the checksum is valid", "the line
+count matches the data" — and discharge them once, producing a certificate.
+
+A :class:`Constraint` is a named predicate over a decoded packet.  Symbolic
+predicates (over integer fields) are preferred because they can be exported
+to generated code and documentation; arbitrary Python callables are
+supported for constraints that inspect non-integer fields (payload bytes,
+lists, nested packets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Tuple, Union
+
+from repro.core.symbolic import Predicate
+
+
+class ConstraintViolation(ValueError):
+    """Raised (or collected) when a packet fails a semantic constraint."""
+
+    def __init__(self, spec_name: str, constraint_name: str, detail: str = "") -> None:
+        self.spec_name = spec_name
+        self.constraint_name = constraint_name
+        self.detail = detail
+        message = f"packet of spec {spec_name!r} violates constraint {constraint_name!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class Constraint:
+    """A named semantic predicate over a packet.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; appears in certificates and error messages.
+    predicate:
+        Either a symbolic :class:`~repro.core.symbolic.Predicate` over
+        integer field names, or a callable ``packet -> bool``.
+    doc:
+        Human-readable statement of the invariant.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Union[Predicate, Callable[[Any], bool]],
+        doc: str = "",
+    ) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"constraint name must be an identifier, got {name!r}")
+        self.name = name
+        self.predicate = predicate
+        self.doc = doc
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when the predicate is symbolic (exportable to codegen)."""
+        return isinstance(self.predicate, Predicate)
+
+    def holds(self, packet: Any, env: Optional[Mapping[str, int]] = None) -> bool:
+        """Evaluate the predicate against a packet.
+
+        ``env`` supplies the integer field environment for symbolic
+        predicates; when omitted it is derived from the packet.
+        """
+        if isinstance(self.predicate, Predicate):
+            if env is None:
+                env = packet.integer_environment()
+            return self.predicate.evaluate(env)
+        return bool(self.predicate(packet))
+
+    def check(self, packet: Any, env: Optional[Mapping[str, int]] = None) -> None:
+        """Raise :class:`ConstraintViolation` unless the predicate holds."""
+        if not self.holds(packet, env):
+            raise ConstraintViolation(packet.spec.name, self.name, self.doc)
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name!r})"
+
+
+def checksum_constraint(spec: Any, field_name: str) -> Constraint:
+    """Build the auto-generated validity constraint for a checksum field.
+
+    The constraint recomputes the checksum from the packet's own values
+    (via the spec's codec) and compares it with the carried value — the
+    runtime content of the paper's ``ChkPacket`` proof.
+    """
+
+    def recompute_matches(packet: Any) -> bool:
+        expected = packet.spec.compute_checksum(packet, field_name)
+        return packet[field_name] == expected
+
+    return Constraint(
+        f"{field_name}_valid",
+        recompute_matches,
+        doc=f"{field_name} equals the recomputed checksum over its covered bytes",
+    )
+
+
+def const_field_constraint(field_name: str, const: int) -> Constraint:
+    """Constraint pinning a declared-constant field to its value."""
+
+    def matches(packet: Any) -> bool:
+        return packet[field_name] == const
+
+    return Constraint(
+        f"{field_name}_is_{const}",
+        matches,
+        doc=f"{field_name} must equal the declared constant {const}",
+    )
+
+
+def enum_field_constraint(field_name: str, allowed: Tuple[int, ...]) -> Constraint:
+    """Constraint restricting a field to an enumerated domain."""
+
+    allowed_set = frozenset(allowed)
+
+    def matches(packet: Any) -> bool:
+        return packet[field_name] in allowed_set
+
+    return Constraint(
+        f"{field_name}_in_enum",
+        matches,
+        doc=f"{field_name} must be one of {sorted(allowed_set)}",
+    )

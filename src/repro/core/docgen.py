@@ -1,0 +1,188 @@
+"""Documentation generated from protocol definitions.
+
+The paper's complaint about today's practice is that the artifacts of a
+protocol — diagrams, grammars, behavioural descriptions, test plans —
+live apart from each other and drift.  In this framework they are all
+*derived*: :func:`document_packet_spec` and :func:`document_machine_spec`
+render Markdown reference documentation straight from the checked
+definitions, alongside the ASCII picture (:mod:`repro.core.ascii_art`),
+the ABNF export (:mod:`repro.core.abnf_export`) and the generated codec
+(:mod:`repro.core.compile`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.ascii_art import RenderError, render_header_diagram
+from repro.core.fields import (
+    Bytes,
+    ChecksumField,
+    Flag,
+    Reserved,
+    Struct,
+    Switch,
+    UInt,
+    UIntList,
+)
+
+
+def _field_kind(field: Any) -> str:
+    if isinstance(field, UInt):
+        extras = []
+        if field.const is not None:
+            extras.append(f"const {field.const}")
+        if field.enum:
+            extras.append("enum " + "/".join(field.enum.values()))
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"uint{field.bits}{suffix}"
+    if isinstance(field, Flag):
+        return "flag (1 bit)"
+    if isinstance(field, Reserved):
+        return f"reserved ({field.bits} bits = {field.value})"
+    if isinstance(field, ChecksumField):
+        cover = "whole packet (self-zeroed)" if field.covers_whole_packet else ", ".join(field.over)
+        return f"checksum {field.algorithm.name} over {cover}"
+    if isinstance(field, Bytes):
+        if field.is_greedy:
+            return "bytes (rest of packet)"
+        return f"bytes[{field.length}]"
+    if isinstance(field, UIntList):
+        return f"list of uint{field.element_bits} x {field.count}"
+    if isinstance(field, Struct):
+        return f"nested {field.spec.name}"
+    if isinstance(field, Switch):
+        cases = ", ".join(
+            f"{value} -> {spec.name}" for value, spec in sorted(field.cases.items())
+        )
+        return f"switch on {field.on} ({cases})"
+    return type(field).__name__
+
+
+def _width_text(field: Any) -> str:
+    width = field.fixed_bit_width()
+    return "variable" if width is None else f"{width} bits"
+
+
+def document_packet_spec(spec: Any, include_diagram: bool = True) -> str:
+    """Render Markdown reference documentation for a packet spec."""
+    lines: List[str] = [f"## Packet `{spec.name}`", ""]
+    if spec.doc:
+        lines.append(spec.doc)
+        lines.append("")
+    if include_diagram:
+        try:
+            diagram = render_header_diagram(spec)
+            lines.append("```")
+            lines.append(diagram)
+            lines.append("```")
+            lines.append("")
+        except RenderError:
+            pass  # irregular layouts simply omit the picture
+    lines.append("| field | type | width | description |")
+    lines.append("|---|---|---|---|")
+    for field in spec.fields:
+        lines.append(
+            f"| `{field.name}` | {_field_kind(field)} | {_width_text(field)} "
+            f"| {field.doc or ''} |"
+        )
+    lines.append("")
+    if spec.constraints:
+        lines.append("**Constraints (checked by `verify`/`parse`):**")
+        lines.append("")
+        for constraint in spec.constraints:
+            kind = "symbolic" if constraint.is_symbolic else "computed"
+            doc = constraint.doc or str(getattr(constraint, "predicate", ""))
+            lines.append(f"- `{constraint.name}` ({kind}): {doc}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def document_machine_spec(spec: Any) -> str:
+    """Render Markdown reference documentation for a machine spec."""
+    lines: List[str] = [f"## Machine `{spec.name}`", ""]
+    if spec.doc:
+        lines.append(spec.doc)
+        lines.append("")
+    status = "sealed (checked)" if spec.sealed else "UNSEALED — not yet checked"
+    lines.append(f"_Status: {status}_")
+    lines.append("")
+    lines.append("**States:**")
+    lines.append("")
+    for state in spec.states.values():
+        params = ", ".join(
+            f"{p.name}" + (f":{p.bits}b" if p.bits else "") for p in state.params
+        )
+        markers = []
+        if state.initial:
+            markers.append("initial")
+        if state.final:
+            markers.append("final")
+        marker_text = f" _({', '.join(markers)})_" if markers else ""
+        lines.append(f"- `{state.name}({params})`{marker_text} {state.doc}")
+    lines.append("")
+    lines.append("| transition | type | requires | guard | event |")
+    lines.append("|---|---|---|---|---|")
+    for transition in spec.transitions:
+        requires = "—"
+        if transition.requires == "bytes":
+            requires = "byte payload"
+        elif transition.requires is not None:
+            requires = f"Verified[{transition.requires.name}]"
+        if transition.guard is None:
+            guard = "—"
+        elif hasattr(transition.guard, "evaluate"):
+            guard = f"`{transition.guard}`"
+        else:
+            guard = "(computed)"
+        arrow = f"`{transition.source}` → `{transition.target}`"
+        if transition.inputs:
+            arrow += f" (inputs: {', '.join(transition.inputs)})"
+        lines.append(
+            f"| `{transition.name}` | {arrow} | {requires} | {guard} "
+            f"| {transition.event or '—'} |"
+        )
+    lines.append("")
+    if spec.expected_events:
+        lines.append("**Completeness declarations:**")
+        lines.append("")
+        for state_name, events in sorted(spec.expected_events.items()):
+            lines.append(f"- in `{state_name}`: handles {sorted(events)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def machine_to_dot(spec: Any) -> str:
+    """Render a machine spec as a Graphviz DOT digraph.
+
+    Transitions carrying evidence requirements are drawn bold; guards are
+    shown in the edge labels.  Paste into any DOT renderer.
+    """
+    lines: List[str] = [f'digraph "{spec.name}" {{', "  rankdir=LR;"]
+    for state in spec.states.values():
+        params = ", ".join(p.name for p in state.params)
+        label = f"{state.name}({params})" if params else state.name
+        shape = "doublecircle" if state.final else "circle"
+        attributes = [f'label="{label}"', f"shape={shape}"]
+        if state.initial:
+            attributes.append("style=bold")
+        lines.append(f'  "{state.name}" [{", ".join(attributes)}];')
+    if spec.initial_states:
+        lines.append('  __start [shape=point];')
+        lines.append(f'  __start -> "{spec.initial_states[0].name}";')
+    for transition in spec.transitions:
+        pieces = [transition.name]
+        if transition.requires == "bytes":
+            pieces.append("[bytes]")
+        elif transition.requires is not None:
+            pieces.append(f"[Verified {transition.requires.name}]")
+        if transition.guard is not None and hasattr(transition.guard, "evaluate"):
+            pieces.append(f"when {transition.guard}")
+        style = ' style=bold' if transition.requires is not None else ""
+        label = " ".join(pieces).replace('"', "'")
+        lines.append(
+            f'  "{transition.source.state.name}" -> '
+            f'"{transition.target.state.name}" [label="{label}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,531 @@
+"""Field primitives of the packet-format DSL.
+
+A packet specification is an ordered list of fields.  Fields may depend on
+the values of *earlier* fields through symbolic expressions (``this.length``
+etc.), which is how the DSL expresses the dependent-record idea of the
+paper: the shape of later data is indexed by earlier values.
+
+Field classes here are *descriptions*; encoding and decoding is performed
+by the codec engine (:mod:`repro.core.codec`) which walks a spec's fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.symbolic import Expr, ExprLike, as_expr
+from repro.wire.bits import BitReader, BitWriter, ByteOrder
+from repro.wire.checksums import CHECKSUM_ALGORITHMS, ChecksumAlgorithm
+
+LengthLike = Union[int, Expr, None]
+
+
+class FieldValueError(ValueError):
+    """Raised when a value does not fit a field's declared shape."""
+
+    def __init__(self, field_name: str, message: str) -> None:
+        self.field_name = field_name
+        super().__init__(f"field {field_name!r}: {message}")
+
+
+class Field:
+    """Base class for packet fields.
+
+    Parameters
+    ----------
+    name:
+        Field name; must be unique within a spec and a valid identifier.
+    doc:
+        Human-readable description, carried into generated documentation
+        and ASCII header pictures.
+    """
+
+    #: True for fields whose value is derived (checksums) rather than given.
+    is_computed: bool = False
+
+    def __init__(self, name: str, doc: str = "") -> None:
+        if not name.isidentifier():
+            raise ValueError(f"field name must be an identifier, got {name!r}")
+        self.name = name
+        self.doc = doc
+
+    def fixed_bit_width(self) -> Optional[int]:
+        """Bit width if it is a spec-time constant, else ``None``."""
+        raise NotImplementedError
+
+    def referenced_fields(self) -> FrozenSet[str]:
+        """Names of earlier fields this field's shape depends on."""
+        return frozenset()
+
+    def is_integer_valued(self) -> bool:
+        """True when the decoded value is an int usable in expressions."""
+        return False
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        """Validate a candidate value against the field's shape.
+
+        Raises :class:`FieldValueError` on mismatch.  ``env`` carries the
+        integer values of earlier fields for dependent-shape checks.
+        """
+        raise NotImplementedError
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        """Append the wire encoding of ``value`` to ``writer``."""
+        raise NotImplementedError
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> Any:
+        """Consume and return this field's value from ``reader``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class UInt(Field):
+    """An unsigned integer of a fixed bit width.
+
+    Parameters
+    ----------
+    bits:
+        Width in bits (1–64).
+    byteorder:
+        Wire byte order; little-endian is restricted to whole-byte widths.
+    const:
+        If given, the field must always carry exactly this value (e.g. an
+        IPv4 ``version`` of 4); decode does not reject other values (the
+        raw packet is still representable) but verification does.
+    enum:
+        Optional mapping of allowed value -> symbolic label, used for
+        documentation and (during verification) domain checking.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bits: int,
+        byteorder: ByteOrder = ByteOrder.BIG,
+        const: Optional[int] = None,
+        enum: Optional[Mapping[int, str]] = None,
+        doc: str = "",
+    ) -> None:
+        super().__init__(name, doc)
+        if not 1 <= bits <= 64:
+            raise ValueError(f"UInt width must be 1..64 bits, got {bits}")
+        if byteorder is ByteOrder.LITTLE and bits % 8 != 0:
+            raise ValueError("little-endian UInt must span whole bytes")
+        if const is not None and not 0 <= const < (1 << bits):
+            raise ValueError(f"const {const} does not fit in {bits} bits")
+        self.bits = bits
+        self.byteorder = byteorder
+        self.const = const
+        self.enum = dict(enum) if enum else None
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        return (1 << self.bits) - 1
+
+    def fixed_bit_width(self) -> Optional[int]:
+        return self.bits
+
+    def is_integer_valued(self) -> bool:
+        return True
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise FieldValueError(self.name, f"expected int, got {value!r}")
+        if not 0 <= value <= self.max_value:
+            raise FieldValueError(
+                self.name, f"value {value} out of range for {self.bits} bits"
+            )
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        writer.write_uint(value, self.bits, self.byteorder)
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> int:
+        return reader.read_uint(self.bits, self.byteorder)
+
+
+class Flag(Field):
+    """A single boolean bit."""
+
+    def __init__(self, name: str, doc: str = "") -> None:
+        super().__init__(name, doc)
+
+    def fixed_bit_width(self) -> Optional[int]:
+        return 1
+
+    def is_integer_valued(self) -> bool:
+        # Exposed to expressions as 0/1 so lengths may depend on flags.
+        return True
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if not isinstance(value, (bool, int)) or value not in (0, 1, True, False):
+            raise FieldValueError(self.name, f"expected a bool, got {value!r}")
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        writer.write_bool(bool(value))
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> bool:
+        return reader.read_bool()
+
+
+class Reserved(Field):
+    """Reserved / padding bits with a fixed value (normally zero).
+
+    Reserved fields take no value from the user: they encode their fixed
+    value and decode to it (the decoded value is surfaced so that strict
+    verification can flag non-zero reserved bits).
+    """
+
+    is_computed = True
+
+    def __init__(self, name: str, bits: int, value: int = 0, doc: str = "") -> None:
+        super().__init__(name, doc)
+        if not 1 <= bits <= 64:
+            raise ValueError(f"Reserved width must be 1..64 bits, got {bits}")
+        if not 0 <= value < (1 << bits):
+            raise ValueError(f"value {value} does not fit in {bits} bits")
+        self.bits = bits
+        self.value = value
+
+    def fixed_bit_width(self) -> Optional[int]:
+        return self.bits
+
+    def is_integer_valued(self) -> bool:
+        return True
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if value != self.value:
+            raise FieldValueError(
+                self.name, f"reserved field must be {self.value}, got {value!r}"
+            )
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        writer.write_uint(self.value if value is None else value, self.bits)
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> int:
+        return reader.read_uint(self.bits)
+
+
+class Bytes(Field):
+    """A run of raw bytes.
+
+    ``length`` counts **bytes** and may be:
+
+    * an ``int`` — fixed length;
+    * a symbolic expression over earlier integer fields — dependent length
+      (``Bytes("payload", length=this.length)``);
+    * ``None`` — greedy: the rest of the packet (only legal for the final
+      field of a spec).
+    """
+
+    def __init__(self, name: str, length: LengthLike = None, doc: str = "") -> None:
+        super().__init__(name, doc)
+        if length is None:
+            self.length: Optional[Expr] = None
+        else:
+            self.length = as_expr(length)
+
+    @property
+    def is_greedy(self) -> bool:
+        """True when the field consumes the remainder of the packet."""
+        return self.length is None
+
+    def fixed_bit_width(self) -> Optional[int]:
+        if self.length is not None and not self.length.free_variables():
+            return self.length.evaluate({}) * 8
+        return None
+
+    def referenced_fields(self) -> FrozenSet[str]:
+        if self.length is None:
+            return frozenset()
+        return self.length.free_variables()
+
+    def _expected_length(self, env: Mapping[str, int]) -> Optional[int]:
+        if self.length is None:
+            return None
+        length = self.length.evaluate(env)
+        if length < 0:
+            raise FieldValueError(
+                self.name, f"length expression {self.length} evaluated to {length}"
+            )
+        return length
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise FieldValueError(self.name, f"expected bytes, got {value!r}")
+        expected = self._expected_length(env)
+        if expected is not None and len(value) != expected:
+            raise FieldValueError(
+                self.name,
+                f"expected {expected} bytes per {self.length}, got {len(value)}",
+            )
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        writer.write_bytes(bytes(value))
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> bytes:
+        expected = self._expected_length(env)
+        if expected is None:
+            return reader.read_remaining()
+        return reader.read_bytes(expected)
+
+
+class UIntList(Field):
+    """A homogeneous list of unsigned integers with a dependent count.
+
+    This is the DSL rendering of the paper's length-indexed
+    ``List Byte n``: the element count is an expression over earlier
+    fields, so a decoded list always has exactly the advertised length.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        element_bits: int,
+        count: Union[int, Expr],
+        byteorder: ByteOrder = ByteOrder.BIG,
+        doc: str = "",
+    ) -> None:
+        super().__init__(name, doc)
+        if not 1 <= element_bits <= 64:
+            raise ValueError(f"element width must be 1..64 bits, got {element_bits}")
+        self.element_bits = element_bits
+        self.count = as_expr(count)
+        self.byteorder = byteorder
+
+    def fixed_bit_width(self) -> Optional[int]:
+        if not self.count.free_variables():
+            return self.count.evaluate({}) * self.element_bits
+        return None
+
+    def referenced_fields(self) -> FrozenSet[str]:
+        return self.count.free_variables()
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise FieldValueError(self.name, f"expected a sequence, got {value!r}")
+        expected = self.count.evaluate(env)
+        if len(value) != expected:
+            raise FieldValueError(
+                self.name,
+                f"expected {expected} elements per {self.count}, got {len(value)}",
+            )
+        limit = 1 << self.element_bits
+        for index, element in enumerate(value):
+            if not isinstance(element, int) or not 0 <= element < limit:
+                raise FieldValueError(
+                    self.name,
+                    f"element {index} = {element!r} does not fit "
+                    f"{self.element_bits} bits",
+                )
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        for element in value:
+            writer.write_uint(element, self.element_bits, self.byteorder)
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> Tuple[int, ...]:
+        expected = self.count.evaluate(env)
+        if expected < 0:
+            raise FieldValueError(
+                self.name, f"count expression {self.count} evaluated to {expected}"
+            )
+        return tuple(
+            reader.read_uint(self.element_bits, self.byteorder)
+            for _ in range(expected)
+        )
+
+
+class ChecksumField(Field):
+    """An integrity field computed from other fields' wire bytes.
+
+    Parameters
+    ----------
+    algorithm:
+        Name of a registered checksum algorithm (see
+        :data:`repro.wire.checksums.CHECKSUM_ALGORITHMS`).
+    over:
+        Names of the fields (in spec order) whose encoded bytes feed the
+        algorithm, or the sentinel string ``"*"`` meaning *the entire
+        packet with this checksum field zeroed* (IPv4-header style).
+
+    The encoder computes the value automatically; users never supply it.
+    Verification recomputes it and compares — producing the paper's
+    checksum-validity certificate.
+    """
+
+    is_computed = True
+
+    ALL = "*"
+
+    def __init__(
+        self,
+        name: str,
+        algorithm: str,
+        over: Union[str, Sequence[str]],
+        doc: str = "",
+    ) -> None:
+        super().__init__(name, doc)
+        if algorithm not in CHECKSUM_ALGORITHMS:
+            raise ValueError(
+                f"unknown checksum algorithm {algorithm!r}; known: "
+                f"{sorted(CHECKSUM_ALGORITHMS)}"
+            )
+        self.algorithm: ChecksumAlgorithm = CHECKSUM_ALGORITHMS[algorithm]
+        if isinstance(over, str):
+            if over != self.ALL:
+                raise ValueError(
+                    "over must be a sequence of field names or the "
+                    f"sentinel {self.ALL!r}, got {over!r}"
+                )
+            self.over: Optional[Tuple[str, ...]] = None
+        else:
+            if not over:
+                raise ValueError("over must name at least one field")
+            self.over = tuple(over)
+
+    @property
+    def covers_whole_packet(self) -> bool:
+        """True for the ``over="*"`` (self-zeroed whole packet) form."""
+        return self.over is None
+
+    @property
+    def bits(self) -> int:
+        """Wire width in bits — the algorithm's output width."""
+        return self.algorithm.bits
+
+    def fixed_bit_width(self) -> Optional[int]:
+        return self.bits
+
+    def referenced_fields(self) -> FrozenSet[str]:
+        return frozenset(self.over or ())
+
+    def is_integer_valued(self) -> bool:
+        return True
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if not isinstance(value, int) or not 0 <= value < (1 << self.bits):
+            raise FieldValueError(
+                self.name, f"checksum value {value!r} does not fit {self.bits} bits"
+            )
+
+    def compute(self, covered_bytes: bytes) -> int:
+        """Apply the algorithm to the covered byte region."""
+        return self.algorithm.compute(covered_bytes)
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        writer.write_uint(value, self.bits)
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> int:
+        return reader.read_uint(self.bits)
+
+
+class Struct(Field):
+    """A nested packet: the field's value is a packet of another spec."""
+
+    def __init__(self, name: str, spec: "Any", doc: str = "") -> None:
+        # spec is a PacketSpec; typed as Any to avoid a circular import.
+        super().__init__(name, doc)
+        self.spec = spec
+
+    def fixed_bit_width(self) -> Optional[int]:
+        return self.spec.fixed_bit_width()
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        if getattr(value, "spec", None) is not self.spec:
+            raise FieldValueError(
+                self.name,
+                f"expected a {self.spec.name} packet, got {value!r}",
+            )
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        writer.write_bytes(self.spec.encode(value))
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> Any:
+        width = self.spec.fixed_bit_width()
+        if width is None:
+            raise FieldValueError(
+                self.name,
+                "nested specs with variable size cannot be decoded "
+                "mid-packet; place them last or give them fixed shape",
+            )
+        if width % 8 != 0:
+            raise FieldValueError(self.name, "nested specs must be byte-aligned")
+        return self.spec.decode(reader.read_bytes(width // 8))
+
+
+class Switch(Field):
+    """A discriminated union: the branch is chosen by an earlier field.
+
+    ``cases`` maps discriminator values to :class:`PacketSpec` objects; the
+    decoded value is a packet of the selected branch spec.  An optional
+    ``default`` spec handles unlisted discriminator values; without one,
+    decoding an unknown discriminator raises.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        on: Expr,
+        cases: Mapping[int, "Any"],
+        default: Optional["Any"] = None,
+        doc: str = "",
+    ) -> None:
+        super().__init__(name, doc)
+        if not cases:
+            raise ValueError("Switch requires at least one case")
+        self.on = as_expr(on)
+        self.cases: Dict[int, Any] = dict(cases)
+        self.default = default
+
+    def referenced_fields(self) -> FrozenSet[str]:
+        return self.on.free_variables()
+
+    def fixed_bit_width(self) -> Optional[int]:
+        widths = {spec.fixed_bit_width() for spec in self.cases.values()}
+        if self.default is not None:
+            widths.add(self.default.fixed_bit_width())
+        if len(widths) == 1:
+            return widths.pop()
+        return None
+
+    def _select(self, env: Mapping[str, int]) -> "Any":
+        discriminator = self.on.evaluate(env)
+        spec = self.cases.get(discriminator, self.default)
+        if spec is None:
+            raise FieldValueError(
+                self.name,
+                f"no case for discriminator {self.on} = {discriminator}",
+            )
+        return spec
+
+    def check_value(self, value: Any, env: Mapping[str, int]) -> None:
+        spec = self._select(env)
+        if getattr(value, "spec", None) is not spec:
+            raise FieldValueError(
+                self.name,
+                f"expected a {spec.name} packet for this discriminator, "
+                f"got {value!r}",
+            )
+
+    def encode(self, writer: BitWriter, value: Any, env: Mapping[str, int]) -> None:
+        self.check_value(value, env)
+        spec = self._select(env)
+        writer.write_bytes(spec.encode(value))
+
+    def decode(self, reader: BitReader, env: Mapping[str, int]) -> Any:
+        spec = self._select(env)
+        width = spec.fixed_bit_width()
+        if width is not None:
+            if width % 8 != 0:
+                raise FieldValueError(self.name, "switch branches must be byte-aligned")
+            return spec.decode(reader.read_bytes(width // 8))
+        # Variable-size branch: it must consume the rest of the packet.
+        return spec.decode(reader.read_remaining())

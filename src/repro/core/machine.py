@@ -1,0 +1,309 @@
+"""The machine runtime: ``exec_trans`` and friends.
+
+A :class:`Machine` is a running instance of a sealed
+:class:`~repro.core.statemachine.MachineSpec`.  Its only mutator is
+:meth:`Machine.exec_trans` — the paper's
+
+::
+
+    execTrans : SendTrans s s' -> Machine s -> IO (Machine s')
+
+Executing a transition performs, in order:
+
+1. **dispatch** — unify the transition's source pattern against the
+   current state (binding dependent parameters, e.g. ``seq``);
+2. **evidence check** — if the transition ``requires`` a packet spec, the
+   payload must be a ``Verified`` packet of that spec (an unverified
+   packet, or a packet of another spec, is rejected — the runtime analogue
+   of ``OK`` demanding a ``ChkPacket``);
+3. **guard** — any additional predicate must hold;
+4. **step** — the target state is *computed* from the bindings (never
+   guessed), parameters are normalized into their domains, and the step is
+   appended to an immutable trace.
+
+Any failure raises :class:`InvalidTransitionError` and leaves the machine
+unchanged: invalid transitions cannot be executed, which is the paper's
+soundness property enforced dynamically at the last line of defence (the
+first line being the sealed spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.statemachine import (
+    MachineSpec,
+    MachineSpecError,
+    StateInstance,
+    TransitionSpec,
+)
+from repro.core.symbolic import UnificationError
+from repro.core.verified import Verified
+
+
+class InvalidTransitionError(RuntimeError):
+    """Raised when a transition cannot legally execute from the current state."""
+
+    def __init__(self, machine_name: str, transition_name: str, reason: str) -> None:
+        self.machine_name = machine_name
+        self.transition_name = transition_name
+        self.reason = reason
+        super().__init__(
+            f"machine {machine_name!r}: cannot execute {transition_name!r}: {reason}"
+        )
+
+
+class UnverifiedPayloadError(InvalidTransitionError):
+    """Raised when a transition demanding verified data receives raw data."""
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One executed transition in a machine's history."""
+
+    transition: str
+    source: StateInstance
+    target: StateInstance
+    bindings: Tuple[Tuple[str, int], ...]
+
+    def bindings_dict(self) -> Dict[str, int]:
+        """Bindings as a dictionary."""
+        return dict(self.bindings)
+
+
+Observer = Callable[["Machine", TraceStep, Any], None]
+
+
+class Machine:
+    """A running protocol state machine.
+
+    Parameters
+    ----------
+    spec:
+        A **sealed** machine spec; unsealed specs are rejected, so no
+        machine ever runs a definition that failed (or skipped) checking.
+    initial:
+        The concrete starting state; defaults to the spec's declared
+        initial state with all parameters zero.
+    context:
+        Arbitrary user data carried by the machine (e.g. the send queue in
+        the ARQ example — the paper's ``sendMachine`` carries the list of
+        data to be transmitted).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        initial: Optional[StateInstance] = None,
+        context: Any = None,
+    ) -> None:
+        if not spec.sealed:
+            raise MachineSpecError(
+                f"machine spec {spec.name!r} must be sealed (checked) before "
+                "instantiation"
+            )
+        self.spec = spec
+        if initial is None:
+            initial_specs = spec.initial_states
+            initial = initial_specs[0].instance(*([0] * initial_specs[0].arity))
+        if spec.states.get(initial.state.name) is not initial.state:
+            raise MachineSpecError(
+                f"initial state {initial!r} does not belong to machine "
+                f"{spec.name!r}"
+            )
+        self._current = initial
+        self.context = context
+        self._trace: List[TraceStep] = []
+        self._observers: List[Observer] = []
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def current(self) -> StateInstance:
+        """The current concrete state."""
+        return self._current
+
+    @property
+    def trace(self) -> Tuple[TraceStep, ...]:
+        """The executed transition history (immutable view)."""
+        return tuple(self._trace)
+
+    @property
+    def is_finished(self) -> bool:
+        """True when the machine sits in a final state."""
+        return self._current.is_final
+
+    def in_state(self, state_name: str) -> bool:
+        """True when the current state's name is ``state_name``."""
+        return self._current.state.name == state_name
+
+    def available_transitions(self) -> List[TransitionSpec]:
+        """Transitions whose source pattern matches the current state.
+
+        Guards are *not* evaluated here (they may need payloads); this
+        answers "which transitions are shape-valid now", which drivers and
+        the completeness tests use.
+        """
+        matching = []
+        for transition in self.spec.transitions_from(self._current.state.name):
+            try:
+                transition.source.match(self._current)
+            except UnificationError:
+                continue
+            matching.append(transition)
+        return matching
+
+    def expect_state(self, state_name: str, **params: int) -> None:
+        """Assert the machine is in a given state (used by protocol code).
+
+        Raises :class:`InvalidTransitionError` on mismatch so protocol
+        drivers fail loudly rather than drifting.
+        """
+        if self._current.state.name != state_name:
+            raise InvalidTransitionError(
+                self.spec.name,
+                "<expect_state>",
+                f"expected state {state_name!r}, in {self._current!r}",
+            )
+        actual = self._current.bindings()
+        for name, value in params.items():
+            if actual.get(name) != value:
+                raise InvalidTransitionError(
+                    self.spec.name,
+                    "<expect_state>",
+                    f"expected {name}={value}, got {name}={actual.get(name)!r}",
+                )
+
+    # -- observation ---------------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register a callback invoked after every executed transition."""
+        self._observers.append(observer)
+
+    # -- execution ------------------------------------------------------------
+
+    def exec_trans(
+        self, transition_name: str, payload: Any = None, **inputs: int
+    ) -> StateInstance:
+        """Execute a named transition; returns the new state.
+
+        ``inputs`` supply the transition's declared execution-time
+        parameters (e.g. ``exec_trans("ACK", ack=5)``).
+
+        Raises :class:`InvalidTransitionError` (machine unchanged) when the
+        transition does not exist, does not match the current state, lacks
+        required evidence or inputs, or fails its guard.
+        """
+        try:
+            transition = self.spec.transition_named(transition_name)
+        except KeyError:
+            raise InvalidTransitionError(
+                self.spec.name, transition_name, "no such transition"
+            ) from None
+        return self._execute(transition, payload, inputs)
+
+    def _execute(
+        self, transition: TransitionSpec, payload: Any, inputs: Dict[str, int]
+    ) -> StateInstance:
+        try:
+            bindings = transition.source.match(self._current)
+        except UnificationError as exc:
+            raise InvalidTransitionError(
+                self.spec.name,
+                transition.name,
+                f"current state {self._current!r} does not match source "
+                f"pattern {transition.source!r} ({exc})",
+            ) from None
+        if set(inputs) != set(transition.inputs):
+            raise InvalidTransitionError(
+                self.spec.name,
+                transition.name,
+                f"transition declares inputs {sorted(transition.inputs)}, "
+                f"got {sorted(inputs)}",
+            )
+        for input_name, input_value in inputs.items():
+            if not isinstance(input_value, int) or isinstance(input_value, bool):
+                raise InvalidTransitionError(
+                    self.spec.name,
+                    transition.name,
+                    f"input {input_name!r} must be an int, got {input_value!r}",
+                )
+            bindings[input_name] = input_value
+        self._check_payload(transition, payload)
+        if not transition.guard_holds(bindings, payload):
+            raise InvalidTransitionError(
+                self.spec.name, transition.name, "guard predicate failed"
+            )
+        target = transition.target.instantiate(bindings)
+        step = TraceStep(
+            transition=transition.name,
+            source=self._current,
+            target=target,
+            bindings=tuple(sorted(bindings.items())),
+        )
+        self._current = target
+        self._trace.append(step)
+        for observer in self._observers:
+            observer(self, step, payload)
+        return target
+
+    def _check_payload(self, transition: TransitionSpec, payload: Any) -> None:
+        requires = transition.requires
+        if requires is None:
+            if payload is not None:
+                raise InvalidTransitionError(
+                    self.spec.name,
+                    transition.name,
+                    "transition takes no payload but one was supplied",
+                )
+            return
+        if requires == "bytes":
+            if not isinstance(payload, (bytes, bytearray)):
+                raise InvalidTransitionError(
+                    self.spec.name,
+                    transition.name,
+                    f"transition requires a byte payload, got {type(payload).__name__}",
+                )
+            return
+        # requires is a PacketSpec: demand verified evidence of that spec.
+        if not isinstance(payload, Verified):
+            raise UnverifiedPayloadError(
+                self.spec.name,
+                transition.name,
+                f"transition requires a Verified[{requires.name}] packet; "
+                f"got {type(payload).__name__} — validate with "
+                f"{requires.name}.parse()/verify() first",
+            )
+        if payload.certificate.spec_name != requires.name:
+            raise UnverifiedPayloadError(
+                self.spec.name,
+                transition.name,
+                f"transition requires Verified[{requires.name}], got "
+                f"Verified[{payload.certificate.spec_name}]",
+            )
+
+    def __repr__(self) -> str:
+        return f"Machine({self.spec.name!r}, current={self._current!r})"
+
+
+def replay_trace(
+    spec: MachineSpec,
+    initial: StateInstance,
+    steps: Sequence[Any],
+) -> Machine:
+    """Replay recorded steps on a fresh machine.
+
+    Each step is ``(transition, payload)`` or ``(transition, payload,
+    inputs_dict)``.  Used by the trace verifier: a recorded trace is valid
+    iff replaying it raises nothing and reproduces the same state sequence.
+    """
+    machine = Machine(spec, initial)
+    for step in steps:
+        if len(step) == 2:
+            transition_name, payload = step
+            inputs: Dict[str, int] = {}
+        else:
+            transition_name, payload, inputs = step
+        machine.exec_trans(transition_name, payload, **inputs)
+    return machine

@@ -1,0 +1,184 @@
+"""Typed protocol operations: the paper's ``sendPacket`` discipline.
+
+Section 3.4 gives ``sendPacket`` a type that *promises its ending states*::
+
+    sendPacket : (seq : Byte) -> List Byte ->
+                 SendMachine (ReadyToSend seq) -> IO (NextSent seq)
+
+where ``NextSent seq`` is either ``Ready (seq+1)`` or ``Timeout seq`` —
+"any type-correct implementation of sendPacket has an explicit guarantee
+(verified by the type checker) that it ends in a consistent state".
+
+:class:`ProtocolOp` is this contract as a first-class object: it names a
+required *starting* state pattern and the *permitted ending* state
+patterns, both over dependent parameters.  Running an operation:
+
+1. checks the machine matches the start pattern (binding parameters);
+2. runs the user's body (which drives the machine through transitions);
+3. checks the final state matches one of the declared endings **under the
+   same parameter bindings** — so an ending ``Ready(seq + 1)`` really
+   means *one past the sequence number we started with*;
+4. returns an :class:`OpOutcome` naming which ending was reached.
+
+A body that leaves the machine anywhere else raises
+:class:`InconsistentEndStateError` — the dynamic residue of the paper's
+static guarantee, checked at every run instead of once at compile time,
+but equally inescapable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Sequence, Tuple
+
+from repro.core.machine import Machine
+from repro.core.statemachine import MachineSpecError, StateInstance, StatePattern
+from repro.core.symbolic import UnificationError
+
+
+class OpContractError(ValueError):
+    """Raised at definition time for an ill-formed operation contract."""
+
+
+class WrongStartStateError(RuntimeError):
+    """Raised when an operation is invoked from a non-matching state."""
+
+
+class InconsistentEndStateError(RuntimeError):
+    """Raised when an operation's body ends outside the declared endings."""
+
+    def __init__(self, op_name: str, final_state: StateInstance, endings) -> None:
+        self.final_state = final_state
+        super().__init__(
+            f"operation {op_name!r} ended in {final_state!r}, which matches "
+            f"none of its declared endings {[str(e) for e in endings]}"
+        )
+
+
+@dataclass(frozen=True)
+class OpOutcome:
+    """The result of running a protocol operation.
+
+    Attributes
+    ----------
+    ending:
+        The name given to the matched ending (e.g. ``"next_ready"`` or
+        ``"failure"`` — the constructors of the paper's ``NextSent``).
+    state:
+        The concrete final state.
+    bindings:
+        Parameter bindings from the start pattern (e.g. the ``seq`` the
+        operation was entered with).
+    value:
+        Whatever the operation body returned.
+    """
+
+    ending: str
+    state: StateInstance
+    bindings: Tuple[Tuple[str, int], ...]
+    value: Any
+
+    def bindings_dict(self) -> Dict[str, int]:
+        """Start-pattern bindings as a dictionary."""
+        return dict(self.bindings)
+
+
+class ProtocolOp:
+    """A named operation with a typed start/end contract.
+
+    Parameters
+    ----------
+    name:
+        Operation name (for errors and logs).
+    start:
+        The state pattern the machine must be in when the op begins; its
+        variables are bound and scope the ending patterns.
+    endings:
+        Mapping of ending name to permitted ending state pattern.  Ending
+        patterns may use the start pattern's variables (``ready(n + 1)``)
+        and are checked under the start's bindings.
+
+    Example
+    -------
+    The paper's ``NextSent``::
+
+        send_packet = ProtocolOp(
+            "send_packet",
+            start=ready(n),
+            endings={"next_ready": ready(n + 1), "failure": timeout(n)},
+        )
+        outcome = send_packet.run(machine, body)
+        assert outcome.ending in ("next_ready", "failure")
+    """
+
+    def __init__(
+        self,
+        name: str,
+        start: StatePattern,
+        endings: Mapping[str, StatePattern],
+    ) -> None:
+        if not name.isidentifier():
+            raise OpContractError(f"operation name must be an identifier: {name!r}")
+        if not endings:
+            raise OpContractError(f"operation {name!r} declares no endings")
+        bound = start.free_variables()
+        for ending_name, pattern in endings.items():
+            if not ending_name.isidentifier():
+                raise OpContractError(
+                    f"ending name must be an identifier: {ending_name!r}"
+                )
+            unknown = pattern.free_variables() - bound
+            if unknown:
+                raise OpContractError(
+                    f"operation {name!r}: ending {ending_name!r} uses "
+                    f"{sorted(unknown)} which the start pattern does not bind"
+                )
+        self.name = name
+        self.start = start
+        self.endings: Dict[str, StatePattern] = dict(endings)
+
+    def run(
+        self,
+        machine: Machine,
+        body: Callable[[Machine, Dict[str, int]], Any],
+    ) -> OpOutcome:
+        """Execute ``body`` under the contract; see the module docstring."""
+        try:
+            bindings = self.start.match(machine.current)
+        except UnificationError as exc:
+            raise WrongStartStateError(
+                f"operation {self.name!r} requires start state "
+                f"{self.start!r}; machine is in {machine.current!r} ({exc})"
+            ) from None
+        value = body(machine, dict(bindings))
+        final_state = machine.current
+        for ending_name, pattern in self.endings.items():
+            if self._matches_under(pattern, final_state, bindings):
+                return OpOutcome(
+                    ending=ending_name,
+                    state=final_state,
+                    bindings=tuple(sorted(bindings.items())),
+                    value=value,
+                )
+        raise InconsistentEndStateError(
+            self.name, final_state, list(self.endings.values())
+        )
+
+    @staticmethod
+    def _matches_under(
+        pattern: StatePattern,
+        state: StateInstance,
+        bindings: Mapping[str, int],
+    ) -> bool:
+        """Does ``state`` match ``pattern`` with variables pre-bound?"""
+        if pattern.state is not state.state:
+            return False
+        try:
+            expected = pattern.instantiate(bindings)
+        except (UnificationError, MachineSpecError, KeyError):
+            return False
+        return expected == state
+
+    def __repr__(self) -> str:
+        endings = {name: str(p) for name, p in self.endings.items()}
+        return f"ProtocolOp({self.name!r}, start={self.start!r}, endings={endings})"

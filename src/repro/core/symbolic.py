@@ -1,0 +1,552 @@
+"""A small symbolic expression language for dependent parameters.
+
+The paper's central device is *types predicated on values*: a list indexed
+by its length, a send machine indexed by its sequence number, a transition
+``OK : SendTrans (Wait seq) (Ready (seq+1))``.  In this Python embedding,
+those value indices are **symbolic expressions**: packet field lengths may
+be written as ``this.length * 4 - 20``, and state-machine transitions relate
+parameterized states through expressions such as ``Var("seq") + 1``.
+
+Expressions are immutable, hashable, structurally comparable, and support:
+
+* ``evaluate(env)`` — compute a concrete value given variable bindings;
+* ``free_variables()`` — the set of variable names the expression mentions;
+* ``substitute(env)`` — partial evaluation / renaming;
+* unification of a *pattern* expression against a concrete value (used by
+  the machine runtime to dispatch transitions soundly).
+
+Only the arithmetic fragment the domain needs is provided (integers with
+``+ - * // %``), keeping the language total and decidable — mirroring the
+paper's requirement that programs (and therefore type-level computation)
+be total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+
+Number = int
+ExprLike = Union["Expr", int]
+
+
+class SymbolicError(Exception):
+    """Base class for errors in symbolic evaluation or unification."""
+
+
+class UnboundVariableError(SymbolicError):
+    """Raised when evaluation needs a variable the environment lacks."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"variable {name!r} is not bound")
+
+
+class UnificationError(SymbolicError):
+    """Raised when a pattern cannot be unified with a concrete value."""
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce an int or expression into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("booleans are not symbolic integers")
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot interpret {value!r} as a symbolic expression")
+
+
+class Expr:
+    """Base class for symbolic integer expressions.
+
+    Subclasses are value objects: equality and hashing are structural, so
+    two independently built ``Var("seq") + 1`` expressions are equal.  This
+    is what lets the definition-time checker compare declared state indices.
+    """
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Compute the expression's value under ``env``."""
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Names of variables occurring in the expression."""
+        raise NotImplementedError
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "Expr":
+        """Replace variables by expressions; unbound variables stay symbolic."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate sub-expressions (empty for leaves)."""
+        return ()
+
+    # -- operator sugar -------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return BinOp("*", as_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp("//", self, as_expr(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp("//", as_expr(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return BinOp("%", self, as_expr(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return BinOp("%", as_expr(other), self)
+
+    # Comparisons build predicates (used in guards), except __eq__ which
+    # must remain structural equality for hashing and checker comparisons.
+    # Use Expr.eq / Expr.ne for symbolic (in)equality predicates.
+
+    def eq(self, other: ExprLike) -> "Predicate":
+        """Symbolic equality predicate."""
+        return Comparison("==", self, as_expr(other))
+
+    def ne(self, other: ExprLike) -> "Predicate":
+        """Symbolic inequality predicate."""
+        return Comparison("!=", self, as_expr(other))
+
+    def __lt__(self, other: ExprLike) -> "Predicate":
+        return Comparison("<", self, as_expr(other))
+
+    def __le__(self, other: ExprLike) -> "Predicate":
+        return Comparison("<=", self, as_expr(other))
+
+    def __gt__(self, other: ExprLike) -> "Predicate":
+        return Comparison(">", self, as_expr(other))
+
+    def __ge__(self, other: ExprLike) -> "Predicate":
+        return Comparison(">=", self, as_expr(other))
+
+
+class Const(Expr):
+    """A literal integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"Const requires an int, got {value!r}")
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "Expr":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Var(Expr):
+    """A named integer variable (a dependent parameter)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise TypeError(f"Var requires a non-empty name, got {name!r}")
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise UnboundVariableError(self.name) from None
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "Expr":
+        if self.name in env:
+            return as_expr(env[self.name])
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_BINARY_OPERATIONS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+}
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation over two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINARY_OPERATIONS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.op in ("//", "%") and right == 0:
+            raise SymbolicError(
+                f"division by zero evaluating {self} with env {dict(env)!r}"
+            )
+        return _BINARY_OPERATIONS[self.op](left, right)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "Expr":
+        left = self.left.substitute(env)
+        right = self.right.substitute(env)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(self.evaluate_const(left.value, right.value))
+        return BinOp(self.op, left, right)
+
+    def evaluate_const(self, left: int, right: int) -> int:
+        """Apply the operator to two concrete values."""
+        if self.op in ("//", "%") and right == 0:
+            raise SymbolicError(f"division by zero in {self}")
+        return _BINARY_OPERATIONS[self.op](left, right)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinOp)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class FieldRef(Expr):
+    """A reference to another field of the packet being parsed or built.
+
+    ``this.length`` in a packet spec produces ``FieldRef("length")``.  At
+    codec time the referenced field's already-decoded value is looked up in
+    the in-flight environment — the DSL's version of a dependent record.
+    """
+
+    __slots__ = ("field_name",)
+
+    def __init__(self, field_name: str) -> None:
+        if not field_name or not isinstance(field_name, str):
+            raise TypeError(f"FieldRef requires a field name, got {field_name!r}")
+        self.field_name = field_name
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.field_name]
+        except KeyError:
+            raise UnboundVariableError(self.field_name) from None
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset((self.field_name,))
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "Expr":
+        if self.field_name in env:
+            return as_expr(env[self.field_name])
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FieldRef) and other.field_name == self.field_name
+
+    def __hash__(self) -> int:
+        return hash(("FieldRef", self.field_name))
+
+    def __repr__(self) -> str:
+        return f"FieldRef({self.field_name!r})"
+
+    def __str__(self) -> str:
+        return f"this.{self.field_name}"
+
+
+class _This:
+    """Builder of :class:`FieldRef` expressions via attribute access.
+
+    The module-level singleton :data:`this` lets packet specs read
+    naturally: ``Bytes("payload", length=this.length)``.
+    """
+
+    def __getattr__(self, name: str) -> FieldRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return FieldRef(name)
+
+    def __repr__(self) -> str:
+        return "this"
+
+
+this = _This()
+"""Singleton used to reference sibling packet fields in specs."""
+
+
+# ---------------------------------------------------------------------------
+# Predicates (symbolic booleans for guards and constraints)
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class for symbolic boolean expressions."""
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return BoolOp("and", self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return BoolOp("or", self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Predicate):
+    """A comparison between two integer expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _COMPARISONS:
+            raise ValueError(f"unsupported comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return _COMPARISONS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class BoolOp(Predicate):
+    """Conjunction or disjunction of two predicates."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Predicate, right: Predicate) -> None:
+        if op not in ("and", "or"):
+            raise ValueError(f"unsupported boolean operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        if self.op == "and":
+            return self.left.evaluate(env) and self.right.evaluate(env)
+        return self.left.evaluate(env) or self.right.evaluate(env)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Predicate) -> None:
+        self.operand = operand
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return not self.operand.evaluate(env)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Unification
+# ---------------------------------------------------------------------------
+
+
+def unify(pattern: Expr, value: int, bindings: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    """Unify a pattern expression with a concrete integer value.
+
+    Supports the pattern fragment the state-machine runtime needs:
+
+    * ``Var(x)`` binds ``x`` to ``value`` (or checks consistency if bound);
+    * ``Const(c)`` requires ``value == c``;
+    * fully bound compound expressions are evaluated and compared;
+    * ``var + const`` / ``const + var`` / ``var - const`` patterns are
+      inverted so that e.g. matching ``seq + 1`` against ``5`` binds
+      ``seq = 4``.
+
+    Returns the (possibly extended) bindings; raises
+    :class:`UnificationError` on mismatch.
+    """
+    if bindings is None:
+        bindings = {}
+    free = pattern.free_variables()
+    if not free:
+        expected = pattern.evaluate({})
+        if expected != value:
+            raise UnificationError(f"pattern {pattern} != value {value}")
+        return bindings
+    if all(name in bindings for name in free):
+        expected = pattern.evaluate(bindings)
+        if expected != value:
+            raise UnificationError(
+                f"pattern {pattern} evaluates to {expected} under "
+                f"{bindings!r}, but value is {value}"
+            )
+        return bindings
+    if isinstance(pattern, (Var, FieldRef)):
+        name = pattern.name if isinstance(pattern, Var) else pattern.field_name
+        if name in bindings and bindings[name] != value:
+            raise UnificationError(
+                f"variable {name!r} already bound to {bindings[name]}, "
+                f"cannot rebind to {value}"
+            )
+        bindings[name] = value
+        return bindings
+    if isinstance(pattern, BinOp):
+        return _unify_binop(pattern, value, bindings)
+    raise UnificationError(f"cannot unify pattern {pattern!r} with {value}")
+
+
+def _unify_binop(pattern: BinOp, value: int, bindings: Dict[str, int]) -> Dict[str, int]:
+    """Invert a binary operation where one side is ground."""
+    left_free = pattern.left.free_variables() - frozenset(bindings)
+    right_free = pattern.right.free_variables() - frozenset(bindings)
+    if left_free and right_free:
+        raise UnificationError(
+            f"pattern {pattern} has unbound variables on both sides; "
+            "unification supports at most one unknown side"
+        )
+    if right_free:
+        ground_value = pattern.left.evaluate(bindings)
+        unknown = pattern.right
+        inverse = _invert_right(pattern.op, ground_value, value)
+    else:
+        ground_value = pattern.right.evaluate(bindings)
+        unknown = pattern.left
+        inverse = _invert_left(pattern.op, ground_value, value)
+    return unify(unknown, inverse, bindings)
+
+
+def _invert_left(op: str, right: int, result: int) -> int:
+    """Solve ``x op right == result`` for x."""
+    if op == "+":
+        return result - right
+    if op == "-":
+        return result + right
+    if op == "*":
+        if right == 0 or result % right != 0:
+            raise UnificationError(f"cannot invert x * {right} == {result}")
+        return result // right
+    raise UnificationError(f"cannot invert operator {op!r} on the left")
+
+
+def _invert_right(op: str, left: int, result: int) -> int:
+    """Solve ``left op x == result`` for x."""
+    if op == "+":
+        return result - left
+    if op == "-":
+        return left - result
+    if op == "*":
+        if left == 0 or result % left != 0:
+            raise UnificationError(f"cannot invert {left} * x == {result}")
+        return result // left
+    raise UnificationError(f"cannot invert operator {op!r} on the right")
+
+
+def iter_subexpressions(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))

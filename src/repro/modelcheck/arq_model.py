@@ -1,0 +1,271 @@
+"""Compositional verification of the ARQ protocol *pair* over a lossy channel.
+
+The paper verifies each machine's transitions by type; what about the
+*system* — sender, receiver and an adversarial channel running together?
+This module builds the three as labelled transition systems and composes
+them with :mod:`repro.modelcheck.product`, checking:
+
+* **consistent termination** — the only stuck configurations are genuine
+  success states (all messages delivered, sender in ``Sent``);
+* **safety** — the receiver never runs more than one message ahead of the
+  sender's acknowledged progress, and never delivers out of order (the
+  delivered count is monotone by construction of its state);
+* **possible progress** — from *every* reachable configuration, a path to
+  success exists, however unluckily the channel has behaved so far.
+
+The sender/receiver components are written against the same transition
+vocabulary as the runtime machines of :mod:`repro.protocols.arq`
+(``SEND/OK/FAIL/TIMEOUT/RETRY/FINISH`` and ``RECV/DUP_ACK``), and the
+test suite replays every sender LTS edge on a real
+:class:`~repro.core.machine.Machine` to rule out the transcription gap
+the paper warns about (§3.3 limitation 2).
+
+Channel model: one data slot and one ack slot.  Each may be silently
+lost; a retransmission overwrites a stale in-flight copy (equivalent, for
+stop-and-wait correctness, to queueing behind it).  Timeouts are
+nondeterministic — they may fire even when nothing was lost (premature
+timeout), so the model covers more schedules than any finite set of
+simulator seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.modelcheck.product import Lts, ProductResult, compose
+
+State = Tuple[Hashable, ...]
+
+
+def build_sender_lts(modulus: int, messages: int) -> Lts:
+    """The stop-and-wait sender as an LTS.
+
+    States: ``("Ready", seq, remaining)``, ``("Wait", seq, remaining)``,
+    ``("Timeout", seq, remaining)``, ``("Sent", seq)``.
+    """
+    put_data = frozenset(("put_data", s) for s in range(modulus))
+    get_ack = frozenset(("get_ack", a) for a in range(modulus))
+    alphabet = put_data | get_ack | {("timeout",), ("retry",), ("finish",)}
+
+    def edges(state: State):
+        mode = state[0]
+        if mode == "Ready":
+            _, seq, remaining = state
+            if remaining > 0:
+                yield ("put_data", seq), ("Wait", seq, remaining)
+            else:
+                yield ("finish",), ("Sent", seq)
+        elif mode == "Wait":
+            _, seq, remaining = state
+            for ack in range(modulus):
+                if ack == seq:  # OK : Wait seq -> Ready (seq+1)
+                    yield ("get_ack", ack), (
+                        "Ready",
+                        (seq + 1) % modulus,
+                        remaining - 1,
+                    )
+                else:  # FAIL : Wait seq -> Ready seq
+                    yield ("get_ack", ack), ("Ready", seq, remaining)
+            yield ("timeout",), ("Timeout", seq, remaining)
+        elif mode == "Timeout":
+            _, seq, remaining = state
+            yield ("retry",), ("Ready", seq, remaining)
+        # "Sent" is terminal: no edges.
+
+    return Lts("sender", ("Ready", 0, messages), edges, frozenset(alphabet))
+
+
+def build_channel_lts(modulus: int) -> Lts:
+    """A lossy, overwriting, single-slot-per-direction channel LTS.
+
+    States: ``(data, ack)`` with each slot ``None`` or a sequence number.
+    """
+    labels = set()
+    for s in range(modulus):
+        labels.add(("put_data", s))
+        labels.add(("dlv_data", s))
+        labels.add(("put_ack", s))
+        labels.add(("get_ack", s))
+    labels.add(("lose_data",))
+    labels.add(("lose_ack",))
+
+    def edges(state: State):
+        data, ack = state
+        for s in range(modulus):
+            # A (re)transmission overwrites any stale in-flight copy.
+            yield ("put_data", s), (s, ack)
+            yield ("put_ack", s), (data, s)
+        if data is not None:
+            yield ("lose_data",), (None, ack)
+            yield ("dlv_data", data), (None, ack)
+        if ack is not None:
+            yield ("lose_ack",), (data, None)
+            yield ("get_ack", ack), (data, None)
+
+    return Lts("channel", (None, None), edges, frozenset(labels))
+
+
+def build_receiver_lts(modulus: int, messages: int) -> Lts:
+    """The stop-and-wait receiver as an LTS.
+
+    States: ``("ReadyFor", expected, delivered)`` and
+    ``("Acking", expected, delivered, ack_seq)``.
+    """
+    labels = set()
+    for s in range(modulus):
+        labels.add(("dlv_data", s))
+        labels.add(("put_ack", s))
+
+    def edges(state: State):
+        mode = state[0]
+        if mode == "ReadyFor":
+            _, expected, delivered = state
+            for s in range(modulus):
+                if s == expected and delivered < messages:
+                    # RECV : ReadyFor seq -> ReadyFor (seq+1), then ack.
+                    yield ("dlv_data", s), (
+                        "Acking",
+                        (expected + 1) % modulus,
+                        delivered + 1,
+                        s,
+                    )
+                elif s == (expected - 1) % modulus:
+                    # DUP_ACK: re-acknowledge, do not deliver.
+                    yield ("dlv_data", s), ("Acking", expected, delivered, s)
+                else:
+                    # Unexpected sequence number: consumed and dropped.
+                    yield ("dlv_data", s), state
+        else:  # Acking
+            _, expected, delivered, ack_seq = state
+            yield ("put_ack", ack_seq), ("ReadyFor", expected, delivered)
+
+    return Lts("receiver", ("ReadyFor", 0, 0), edges, frozenset(labels))
+
+
+def build_broken_receiver_lts(modulus: int, messages: int) -> Lts:
+    """The classic stop-and-wait bug: duplicates are dropped WITHOUT re-ack.
+
+    If the ack for packet *n* is lost, the sender retransmits *n*; this
+    receiver silently discards the duplicate, so the sender can never
+    learn the packet arrived.  Composition must (and does) expose this as
+    configurations from which success is unreachable — the negative
+    control for the verification method.
+    """
+    labels = set()
+    for s in range(modulus):
+        labels.add(("dlv_data", s))
+        labels.add(("put_ack", s))
+
+    def edges(state: State):
+        mode = state[0]
+        if mode == "ReadyFor":
+            _, expected, delivered = state
+            for s in range(modulus):
+                if s == expected and delivered < messages:
+                    yield ("dlv_data", s), (
+                        "Acking",
+                        (expected + 1) % modulus,
+                        delivered + 1,
+                        s,
+                    )
+                else:
+                    yield ("dlv_data", s), state  # BUG: duplicate not re-acked
+        else:
+            _, expected, delivered, ack_seq = state
+            yield ("put_ack", ack_seq), ("ReadyFor", expected, delivered)
+
+    return Lts("receiver", ("ReadyFor", 0, 0), edges, frozenset(labels))
+
+
+@dataclass
+class ArqVerificationReport:
+    """Outcome of compositional verification of the ARQ system."""
+
+    modulus: int
+    messages: int
+    states: int
+    edges: int
+    success_states: int
+    bad_deadlocks: List[Tuple[State, ...]]
+    safety_violations: List
+    stuck_states: List[Tuple[State, ...]]
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked property holds."""
+        return (
+            not self.bad_deadlocks
+            and not self.safety_violations
+            and not self.stuck_states
+        )
+
+
+def is_success(product_state: Tuple[State, ...], messages: int) -> bool:
+    """All messages delivered, sender finished, channel drained."""
+    sender, channel, receiver = product_state
+    return (
+        sender[0] == "Sent"
+        and receiver[0] == "ReadyFor"
+        and receiver[2] == messages
+        and channel == (None, None)
+    )
+
+
+def _sender_completed(sender: State, messages: int) -> int:
+    if sender[0] == "Sent":
+        return messages
+    return messages - sender[2]
+
+
+def verify_arq_system(
+    modulus: int = 4,
+    messages: int = 3,
+    max_states: int = 500_000,
+    broken_receiver: bool = False,
+) -> ArqVerificationReport:
+    """Compose sender, channel and receiver; check the three properties.
+
+    Pass ``broken_receiver=True`` to verify the no-dup-ack variant — the
+    negative control, whose stuck states the checker must find.
+    """
+    if messages >= modulus:
+        # Stop-and-wait needs the duplicate window (seq-1) to be
+        # unambiguous; with messages < modulus the check is exact.
+        raise ValueError(
+            "verification model requires messages < modulus so the "
+            "duplicate-detection window is unambiguous"
+        )
+    sender = build_sender_lts(modulus, messages)
+    channel = build_channel_lts(modulus)
+    build_receiver = (
+        build_broken_receiver_lts if broken_receiver else build_receiver_lts
+    )
+    receiver = build_receiver(modulus, messages)
+    result: ProductResult = compose([sender, channel, receiver], max_states)
+
+    def success(state) -> bool:
+        return is_success(state, messages)
+
+    bad_deadlocks = [s for s in result.deadlocks if not success(s)]
+
+    def safety(state) -> bool:
+        sender_state, _, receiver_state = state
+        delivered = receiver_state[2]
+        completed = _sender_completed(sender_state, messages)
+        # The receiver may be exactly one message ahead of what the
+        # sender has seen acknowledged — never more, never behind.
+        return 0 <= delivered - completed <= 1
+
+    safety_violations = result.check_invariant(safety)
+    stuck = result.states_that_cannot_reach(success)
+    return ArqVerificationReport(
+        modulus=modulus,
+        messages=messages,
+        states=result.states_visited,
+        edges=result.edges_traversed,
+        success_states=sum(1 for s in result.reachable_states() if success(s)),
+        bad_deadlocks=bad_deadlocks,
+        safety_violations=safety_violations,
+        stuck_states=stuck,
+    )

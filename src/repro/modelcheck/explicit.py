@@ -1,0 +1,261 @@
+"""Breadth-first explicit-state exploration of machine specs.
+
+The explorer enumerates every concrete configuration —
+(state, parameter values) — reachable from an initial configuration,
+following transitions whose guards it can discharge:
+
+* symbolic guards are evaluated exactly over the candidate bindings;
+* callable guards (which may inspect payloads the model cannot know) are
+  treated as *may-fire* — a sound over-approximation that mirrors the
+  "approximate model" the paper criticizes in §4.2 (a model checker sees
+  more behaviours than the implementation has);
+* transitions with declared inputs enumerate them over caller-supplied
+  finite domains.
+
+Parameter domains default to each :class:`~repro.core.Param`'s declared
+bit width (``2**bits`` values); the ``abstraction`` knob truncates domains
+to fewer values, reproducing the hand-simplification trade-off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.statemachine import MachineSpec, StateInstance, TransitionSpec
+from repro.core.symbolic import Predicate, UnificationError
+
+InputDomains = Mapping[str, Mapping[str, Iterable[int]]]
+"""Per-transition, per-input finite domains: ``{"ACK": {"ack": range(8)}}``."""
+
+
+class ExplorationBudgetExceeded(RuntimeError):
+    """Raised when the reachable state space outgrows ``max_states``.
+
+    This *is* the paper's state-explosion limitation, surfaced as an
+    exception rather than an out-of-memory condition.
+    """
+
+    def __init__(self, machine_name: str, budget: int) -> None:
+        self.machine_name = machine_name
+        self.budget = budget
+        super().__init__(
+            f"machine {machine_name!r}: reachable state space exceeds "
+            f"{budget} states (state explosion)"
+        )
+
+
+@dataclass(frozen=True)
+class CounterExample:
+    """A violating configuration plus the transition path that reaches it."""
+
+    state: StateInstance
+    path: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        trail = " -> ".join(self.path) if self.path else "<initial>"
+        return f"{self.state!r} via {trail}"
+
+
+@dataclass
+class ModelCheckResult:
+    """Everything the explorer learned about the reachable space."""
+
+    machine_name: str
+    states_visited: int
+    edges_traversed: int
+    deadlocks: List[StateInstance]
+    approximated_transitions: List[str]
+    elapsed_seconds: float
+    initial: StateInstance
+    _predecessors: Dict[StateInstance, Tuple[Optional[StateInstance], Optional[str]]] = field(
+        default_factory=dict, repr=False
+    )
+    _states: List[StateInstance] = field(default_factory=list, repr=False)
+    _edges: Dict[StateInstance, List[Tuple[str, StateInstance]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def deadlock_free(self) -> bool:
+        """True when every reachable non-final state has a way out."""
+        return not self.deadlocks
+
+    def path_to(self, state: StateInstance) -> Tuple[str, ...]:
+        """Transition names from the initial configuration to ``state``."""
+        names: List[str] = []
+        cursor: Optional[StateInstance] = state
+        while cursor is not None:
+            predecessor, transition = self._predecessors.get(cursor, (None, None))
+            if transition is not None:
+                names.append(transition)
+            cursor = predecessor
+        return tuple(reversed(names))
+
+    def reachable_states(self) -> List[StateInstance]:
+        """Every reachable configuration, in discovery order."""
+        return list(self._states)
+
+    def successors(self, state: StateInstance) -> List[Tuple[str, StateInstance]]:
+        """Outgoing (transition name, next state) edges of a configuration."""
+        return list(self._edges.get(state, []))
+
+    def all_can_reach_final(self) -> List[StateInstance]:
+        """Configurations from which no final state is reachable.
+
+        An empty list certifies the paper's guarantee 4 at the model level:
+        every run can still end in a consistent (final) state.
+        """
+        final_states = {s for s in self._states if s.is_final}
+        # Reverse reachability from final states.
+        reverse: Dict[StateInstance, List[StateInstance]] = {}
+        for source, edges in self._edges.items():
+            for _, target in edges:
+                reverse.setdefault(target, []).append(source)
+        can_finish = set(final_states)
+        frontier = list(final_states)
+        while frontier:
+            current = frontier.pop()
+            for predecessor in reverse.get(current, []):
+                if predecessor not in can_finish:
+                    can_finish.add(predecessor)
+                    frontier.append(predecessor)
+        return [s for s in self._states if s not in can_finish]
+
+
+def explore(
+    spec: MachineSpec,
+    initial: Optional[StateInstance] = None,
+    input_domains: Optional[InputDomains] = None,
+    abstraction: Optional[int] = None,
+    max_states: int = 1_000_000,
+) -> ModelCheckResult:
+    """Exhaustively explore the reachable configurations of ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        A (sealed or unsealed) machine spec — the model *is* the
+        implementation's spec, eliminating transcription errors.
+    initial:
+        Starting configuration; defaults to the declared initial state
+        with zero parameters.
+    input_domains:
+        Finite domains for transitions with execution-time inputs; a
+        transition with inputs but no domain is recorded as approximated
+        and skipped.
+    abstraction:
+        Truncate every parameter domain to at most this many values — the
+        "simplified (and so unrealistic) representation" of §4.2.
+    max_states:
+        Exploration budget; exceeding it raises
+        :class:`ExplorationBudgetExceeded`.
+    """
+    started = time.perf_counter()
+    if initial is None:
+        initial_specs = spec.initial_states
+        if not initial_specs:
+            raise ValueError(f"machine {spec.name!r} declares no initial state")
+        initial = initial_specs[0].instance(*([0] * initial_specs[0].arity))
+    visited: Dict[StateInstance, None] = {initial: None}
+    predecessors: Dict[StateInstance, Tuple[Optional[StateInstance], Optional[str]]] = {
+        initial: (None, None)
+    }
+    edges: Dict[StateInstance, List[Tuple[str, StateInstance]]] = {}
+    approximated: List[str] = []
+    deadlocks: List[StateInstance] = []
+    edge_count = 0
+    frontier: List[StateInstance] = [initial]
+    while frontier:
+        current = frontier.pop(0)
+        outgoing: List[Tuple[str, StateInstance]] = []
+        for transition in spec.transitions_from(current.state.name):
+            for target in _successors(
+                spec, transition, current, input_domains, abstraction, approximated
+            ):
+                outgoing.append((transition.name, target))
+                edge_count += 1
+                if target not in visited:
+                    if len(visited) >= max_states:
+                        raise ExplorationBudgetExceeded(spec.name, max_states)
+                    visited[target] = None
+                    predecessors[target] = (current, transition.name)
+                    frontier.append(target)
+        edges[current] = outgoing
+        if not outgoing and not current.is_final:
+            deadlocks.append(current)
+    return ModelCheckResult(
+        machine_name=spec.name,
+        states_visited=len(visited),
+        edges_traversed=edge_count,
+        deadlocks=deadlocks,
+        approximated_transitions=sorted(set(approximated)),
+        elapsed_seconds=time.perf_counter() - started,
+        initial=initial,
+        _predecessors=predecessors,
+        _states=list(visited),
+        _edges=edges,
+    )
+
+
+def _successors(
+    spec: MachineSpec,
+    transition: TransitionSpec,
+    current: StateInstance,
+    input_domains: Optional[InputDomains],
+    abstraction: Optional[int],
+    approximated: List[str],
+) -> List[StateInstance]:
+    try:
+        base_bindings = transition.source.match(current)
+    except UnificationError:
+        return []
+    input_names = transition.inputs
+    if input_names:
+        domains = (input_domains or {}).get(transition.name)
+        if domains is None or any(name not in domains for name in input_names):
+            approximated.append(transition.name)
+            return []
+        value_lists = [list(domains[name]) for name in input_names]
+        candidates = [
+            dict(base_bindings, **dict(zip(input_names, combo)))
+            for combo in itertools.product(*value_lists)
+        ]
+    else:
+        candidates = [base_bindings]
+    results: List[StateInstance] = []
+    for bindings in candidates:
+        if isinstance(transition.guard, Predicate):
+            if not transition.guard.evaluate(bindings):
+                continue
+        elif callable(transition.guard):
+            # Payload-dependent guard: may-fire over-approximation.
+            if transition.name not in approximated:
+                approximated.append(transition.name)
+        target = transition.target.instantiate(bindings)
+        if abstraction is not None:
+            clipped = tuple(
+                min(v, abstraction - 1) for v in target.values
+            )
+            target = target.state.instance(*clipped)
+        results.append(target)
+    return results
+
+
+def check_invariant(
+    result: ModelCheckResult,
+    predicate: Callable[[StateInstance], bool],
+    name: str = "invariant",
+) -> List[CounterExample]:
+    """Check a safety property over every reachable configuration.
+
+    Returns counterexamples (with witness paths); empty means the
+    invariant holds throughout the explored space.
+    """
+    violations: List[CounterExample] = []
+    for state in result.reachable_states():
+        if not predicate(state):
+            violations.append(CounterExample(state, result.path_to(state)))
+    return violations

@@ -1,0 +1,265 @@
+"""Place/transition Petri nets: the paper's other model-checking target.
+
+Section 3.3: "The correctness of a network protocol is often verified (if
+at all) by model checking a finite-state-machine or Petri Net
+representation."  This module supplies the Petri-net half of that
+comparator: nets with weighted arcs, reachability-graph construction,
+deadlock detection, and k-boundedness checking — plus
+:func:`arq_petri_net`, a hand-modelled stop-and-wait net whose safety
+(1-boundedness: never two packets in flight) and liveness can be checked
+against the DSL machines' behaviour.
+
+Like the FSM explorer, this is a *separate model* of the protocol, so it
+carries exactly the transcription risk the paper criticizes; the tests
+cross-check it against the LTS composition model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+Marking = Tuple[int, ...]
+
+
+class PetriError(ValueError):
+    """Raised for structurally invalid nets or queries."""
+
+
+class UnboundedNetError(RuntimeError):
+    """Raised when exploration exceeds the declared token bound."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A net transition: tokens consumed and produced per place.
+
+    ``inhibit`` lists places that must be *empty* for the transition to
+    fire (inhibitor arcs — the standard extension for zero-tests, needed
+    to model "retransmit only after the copy in flight is gone").
+    """
+
+    name: str
+    consume: Mapping[str, int]
+    produce: Mapping[str, int]
+    inhibit: FrozenSet[str] = frozenset()
+
+
+class PetriNet:
+    """A place/transition net.
+
+    Parameters
+    ----------
+    places:
+        Ordered place names (order fixes the marking vector layout).
+    transitions:
+        The net's transitions; arc weights must be positive and refer to
+        declared places.
+    """
+
+    def __init__(self, places: List[str], transitions: List[Transition]) -> None:
+        if len(set(places)) != len(places):
+            raise PetriError("place names must be unique")
+        if not places:
+            raise PetriError("a net needs at least one place")
+        self.places = list(places)
+        self._place_index = {name: i for i, name in enumerate(places)}
+        seen = set()
+        for transition in transitions:
+            if transition.name in seen:
+                raise PetriError(f"duplicate transition {transition.name!r}")
+            seen.add(transition.name)
+            for arc in (*transition.consume.items(), *transition.produce.items()):
+                place, weight = arc
+                if place not in self._place_index:
+                    raise PetriError(
+                        f"transition {transition.name!r} references unknown "
+                        f"place {place!r}"
+                    )
+                if weight <= 0:
+                    raise PetriError(
+                        f"transition {transition.name!r}: arc weight must be "
+                        f"positive, got {weight}"
+                    )
+            for place in transition.inhibit:
+                if place not in self._place_index:
+                    raise PetriError(
+                        f"transition {transition.name!r} inhibits unknown "
+                        f"place {place!r}"
+                    )
+        self.transitions = list(transitions)
+
+    def marking(self, tokens: Mapping[str, int]) -> Marking:
+        """Build a marking vector from a place->count mapping."""
+        unknown = set(tokens) - set(self.places)
+        if unknown:
+            raise PetriError(f"unknown places in marking: {sorted(unknown)}")
+        return tuple(tokens.get(place, 0) for place in self.places)
+
+    def render(self, marking: Marking) -> Dict[str, int]:
+        """The inverse of :meth:`marking`, for humans."""
+        return {
+            place: count
+            for place, count in zip(self.places, marking)
+            if count
+        }
+
+    def enabled(self, marking: Marking) -> List[Transition]:
+        """Transitions fireable in ``marking``."""
+        result = []
+        for transition in self.transitions:
+            has_tokens = all(
+                marking[self._place_index[place]] >= weight
+                for place, weight in transition.consume.items()
+            )
+            unblocked = all(
+                marking[self._place_index[place]] == 0
+                for place in transition.inhibit
+            )
+            if has_tokens and unblocked:
+                result.append(transition)
+        return result
+
+    def fire(self, marking: Marking, transition: Transition) -> Marking:
+        """Fire a transition; raises if it is not enabled."""
+        vector = list(marking)
+        for place, weight in transition.consume.items():
+            index = self._place_index[place]
+            if vector[index] < weight:
+                raise PetriError(
+                    f"transition {transition.name!r} not enabled in "
+                    f"{self.render(marking)}"
+                )
+            vector[index] -= weight
+        for place, weight in transition.produce.items():
+            vector[self._place_index[place]] += weight
+        return tuple(vector)
+
+
+@dataclass
+class ReachabilityResult:
+    """The reachability graph of a net from one initial marking."""
+
+    markings: int
+    edges: int
+    deadlocks: List[Marking]
+    max_tokens_per_place: Dict[str, int]
+    _graph: Dict[Marking, List[Tuple[str, Marking]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def is_k_bounded(self, k: int) -> bool:
+        """True when no place ever holds more than ``k`` tokens."""
+        return all(count <= k for count in self.max_tokens_per_place.values())
+
+    @property
+    def is_safe(self) -> bool:
+        """1-bounded — the classic safety notion for protocol nets."""
+        return self.is_k_bounded(1)
+
+    def reachable_markings(self) -> List[Marking]:
+        """All reachable markings in discovery order."""
+        return list(self._graph)
+
+    def successors(self, marking: Marking) -> List[Tuple[str, Marking]]:
+        """Outgoing (transition name, marking) edges."""
+        return list(self._graph.get(marking, []))
+
+
+def explore_net(
+    net: PetriNet,
+    initial: Marking,
+    max_markings: int = 100_000,
+    token_bound: int = 64,
+) -> ReachabilityResult:
+    """Build the reachability graph; guard against unbounded nets."""
+    visited: Dict[Marking, None] = {initial: None}
+    graph: Dict[Marking, List[Tuple[str, Marking]]] = {}
+    deadlocks: List[Marking] = []
+    max_tokens = {place: initial[i] for i, place in enumerate(net.places)}
+    edge_count = 0
+    frontier = [initial]
+    while frontier:
+        current = frontier.pop(0)
+        outgoing: List[Tuple[str, Marking]] = []
+        for transition in net.enabled(current):
+            successor = net.fire(current, transition)
+            for index, place in enumerate(net.places):
+                if successor[index] > token_bound:
+                    raise UnboundedNetError(
+                        f"place {place!r} exceeds {token_bound} tokens; "
+                        "the net looks unbounded"
+                    )
+                max_tokens[place] = max(max_tokens[place], successor[index])
+            outgoing.append((transition.name, successor))
+            edge_count += 1
+            if successor not in visited:
+                if len(visited) >= max_markings:
+                    raise UnboundedNetError(
+                        f"more than {max_markings} reachable markings"
+                    )
+                visited[successor] = None
+                frontier.append(successor)
+        graph[current] = outgoing
+        if not outgoing:
+            deadlocks.append(current)
+    return ReachabilityResult(
+        markings=len(visited),
+        edges=edge_count,
+        deadlocks=deadlocks,
+        max_tokens_per_place=max_tokens,
+        _graph=graph,
+    )
+
+
+def arq_petri_net() -> Tuple[PetriNet, Marking]:
+    """Stop-and-wait ARQ as a (cyclic, message-agnostic) Petri net.
+
+    Places model the sender phase, the receiver phase and the two channel
+    directions; the net abstracts away sequence numbers (they are the
+    FSM/LTS models' job) and captures the token-flow discipline.
+
+    Checked results (see tests): the net is deadlock-free and 2-bounded
+    but **not** 1-safe — premature timeouts can put two data copies (and
+    two acks) in flight at once.  That is a finding, not a flaw: it is
+    precisely why stop-and-wait needs sequence numbers, and why a single
+    formalism that cannot express the message contents (the paper's §2.2
+    complaint about process-only models) cannot verify the whole
+    protocol.  The LTS composition model, which carries sequence numbers,
+    proves the duplicates are handled.
+    """
+    places = [
+        "sender_ready",
+        "sender_waiting",
+        "data_in_flight",
+        "receiver_idle",
+        "receiver_acking",
+        "ack_in_flight",
+    ]
+    transitions = [
+        Transition("send", {"sender_ready": 1}, {"sender_waiting": 1, "data_in_flight": 1}),
+        Transition("lose_data", {"data_in_flight": 1}, {}),
+        Transition(
+            "deliver",
+            {"data_in_flight": 1, "receiver_idle": 1},
+            {"receiver_acking": 1},
+        ),
+        Transition("ack", {"receiver_acking": 1}, {"receiver_idle": 1, "ack_in_flight": 1}),
+        Transition("lose_ack", {"ack_in_flight": 1}, {}),
+        Transition(
+            "receive_ack",
+            {"ack_in_flight": 1, "sender_waiting": 1},
+            {"sender_ready": 1},
+        ),
+        Transition(
+            "timeout_retransmit",
+            {"sender_waiting": 1},
+            {"sender_waiting": 1, "data_in_flight": 1},
+            # Retransmit only once the in-flight copies are gone; without
+            # this inhibitor the net is unbounded (and explore_net says so).
+            inhibit=frozenset({"data_in_flight", "ack_in_flight"}),
+        ),
+    ]
+    net = PetriNet(places, transitions)
+    initial = net.marking({"sender_ready": 1, "receiver_idle": 1})
+    return net, initial

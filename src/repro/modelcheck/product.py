@@ -1,0 +1,217 @@
+"""Composition of labelled transition systems (CSP-style parallel product).
+
+Section 2.2 of the paper observes that process formalisms (CSP, FSP) "can
+be used to verify behaviour, but then are not related to the description
+of the messages".  This module supplies that comparator capability —
+multi-way synchronous composition and exhaustive product exploration — so
+that a *pair* of protocol machines plus an explicit channel model can be
+verified as a system (see :mod:`repro.modelcheck.arq_model`), while our
+DSL keeps the message descriptions attached.
+
+Semantics: each component declares an alphabet.  A label fires iff every
+component whose alphabet contains it can take a step with that label; all
+of them move simultaneously, everyone else stays put (CSP's alphabetized
+parallel).  Labels outside every alphabet are rejected loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+State = Hashable
+Label = Hashable
+Edge = Tuple[Label, State]
+
+
+@dataclass(frozen=True)
+class Lts:
+    """A labelled transition system.
+
+    Attributes
+    ----------
+    name:
+        Component name (used in error messages and state rendering).
+    initial:
+        The initial state (any hashable value).
+    edges:
+        ``edges(state)`` yields the outgoing ``(label, next_state)`` pairs.
+    alphabet:
+        Every label this component participates in.  A component blocks
+        any shared label it currently has no edge for — that is exactly
+        how synchronization constrains the product.
+    """
+
+    name: str
+    initial: State
+    edges: Callable[[State], Iterable[Edge]]
+    alphabet: FrozenSet[Label]
+
+
+class CompositionError(ValueError):
+    """Raised for ill-formed compositions (empty, orphan labels...)."""
+
+
+class ProductExplosionError(RuntimeError):
+    """Raised when the product state space exceeds the exploration budget."""
+
+
+@dataclass
+class ProductResult:
+    """Everything learned from exploring a composition."""
+
+    component_names: Tuple[str, ...]
+    states_visited: int
+    edges_traversed: int
+    deadlocks: List[Tuple[State, ...]]
+    initial: Tuple[State, ...]
+    _edges: Dict[Tuple[State, ...], List[Tuple[Label, Tuple[State, ...]]]] = field(
+        default_factory=dict, repr=False
+    )
+    _predecessors: Dict[
+        Tuple[State, ...], Tuple[Optional[Tuple[State, ...]], Optional[Label]]
+    ] = field(default_factory=dict, repr=False)
+
+    def reachable_states(self) -> List[Tuple[State, ...]]:
+        """Every reachable product state, in discovery order."""
+        return list(self._edges)
+
+    def successors(self, state: Tuple[State, ...]) -> List[Tuple[Label, Tuple[State, ...]]]:
+        """Outgoing product edges of one state."""
+        return list(self._edges.get(state, []))
+
+    def path_to(self, state: Tuple[State, ...]) -> Tuple[Label, ...]:
+        """A label path from the initial product state to ``state``."""
+        labels: List[Label] = []
+        cursor: Optional[Tuple[State, ...]] = state
+        while cursor is not None:
+            predecessor, label = self._predecessors.get(cursor, (None, None))
+            if label is not None:
+                labels.append(label)
+            cursor = predecessor
+        return tuple(reversed(labels))
+
+    def check_invariant(
+        self, predicate: Callable[[Tuple[State, ...]], bool]
+    ) -> List[Tuple[Tuple[State, ...], Tuple[Label, ...]]]:
+        """Safety check: returns (state, witness path) for each violation."""
+        violations = []
+        for state in self._edges:
+            if not predicate(state):
+                violations.append((state, self.path_to(state)))
+        return violations
+
+    def states_that_cannot_reach(
+        self, goal: Callable[[Tuple[State, ...]], bool]
+    ) -> List[Tuple[State, ...]]:
+        """Liveness-ish check: states from which no goal state is reachable.
+
+        Empty result means *from every reachable configuration the system
+        can still succeed* — the protocol never paints itself into a
+        corner (the product analogue of paper guarantee 4).
+        """
+        goal_states = {s for s in self._edges if goal(s)}
+        reverse: Dict[Tuple[State, ...], List[Tuple[State, ...]]] = {}
+        for source, edges in self._edges.items():
+            for _, target in edges:
+                reverse.setdefault(target, []).append(source)
+        can = set(goal_states)
+        frontier = list(goal_states)
+        while frontier:
+            current = frontier.pop()
+            for predecessor in reverse.get(current, []):
+                if predecessor not in can:
+                    can.add(predecessor)
+                    frontier.append(predecessor)
+        return [s for s in self._edges if s not in can]
+
+
+def compose(
+    components: Sequence[Lts],
+    max_states: int = 1_000_000,
+) -> ProductResult:
+    """Explore the alphabetized parallel product of ``components``."""
+    if not components:
+        raise CompositionError("cannot compose zero components")
+    names = tuple(component.name for component in components)
+    if len(set(names)) != len(names):
+        raise CompositionError(f"component names must be unique: {names}")
+    initial = tuple(component.initial for component in components)
+    participants: Dict[Label, List[int]] = {}
+    for index, component in enumerate(components):
+        for label in component.alphabet:
+            participants.setdefault(label, []).append(index)
+
+    visited: Dict[Tuple[State, ...], None] = {initial: None}
+    predecessors: Dict[
+        Tuple[State, ...], Tuple[Optional[Tuple[State, ...]], Optional[Label]]
+    ] = {initial: (None, None)}
+    edges: Dict[Tuple[State, ...], List[Tuple[Label, Tuple[State, ...]]]] = {}
+    deadlocks: List[Tuple[State, ...]] = []
+    edge_count = 0
+    frontier: List[Tuple[State, ...]] = [initial]
+    while frontier:
+        current = frontier.pop(0)
+        outgoing: List[Tuple[Label, Tuple[State, ...]]] = []
+        # Candidate labels: anything some component offers right now.
+        offers: Dict[Label, Dict[int, List[State]]] = {}
+        for index, component in enumerate(components):
+            for label, target in component.edges(current[index]):
+                if label not in component.alphabet:
+                    raise CompositionError(
+                        f"component {component.name!r} emitted label "
+                        f"{label!r} outside its declared alphabet"
+                    )
+                offers.setdefault(label, {}).setdefault(index, []).append(target)
+        for label, by_component in offers.items():
+            required = participants.get(label, [])
+            if any(index not in by_component for index in required):
+                continue  # some participant blocks the label
+            # Cartesian product over each participant's nondeterministic
+            # choices; non-participants keep their state.
+            combos: List[Dict[int, State]] = [{}]
+            for index in required:
+                expanded: List[Dict[int, State]] = []
+                for combo in combos:
+                    for target in by_component[index]:
+                        extended = dict(combo)
+                        extended[index] = target
+                        expanded.append(extended)
+                combos = expanded
+            for combo in combos:
+                successor = tuple(
+                    combo.get(index, current[index])
+                    for index in range(len(components))
+                )
+                outgoing.append((label, successor))
+                edge_count += 1
+                if successor not in visited:
+                    if len(visited) >= max_states:
+                        raise ProductExplosionError(
+                            f"product exceeds {max_states} states"
+                        )
+                    visited[successor] = None
+                    predecessors[successor] = (current, label)
+                    frontier.append(successor)
+        edges[current] = outgoing
+        if not outgoing:
+            deadlocks.append(current)
+    return ProductResult(
+        component_names=names,
+        states_visited=len(visited),
+        edges_traversed=edge_count,
+        deadlocks=deadlocks,
+        initial=initial,
+        _edges=edges,
+        _predecessors=predecessors,
+    )

@@ -1,0 +1,145 @@
+"""Traffic capture and spec-driven pretty-printing (a tiny tcpdump).
+
+Attach a :class:`Capture` to any :class:`~repro.netsim.channel.Channel`
+and every frame that *enters* the channel is recorded with its virtual
+timestamp and direction.  Because packet formats are first-class specs,
+the capture can then decode and render its own transcript — the
+observability story that falls out of defining protocols in the DSL
+rather than in code.
+
+Frames that fail to parse under every registered spec are shown as hex
+with the reason — corrupted frames therefore stand out in transcripts
+exactly as they do to the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.netsim.channel import Channel
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One frame as submitted to a channel."""
+
+    time: float
+    channel_name: str
+    data: bytes
+    index: int
+
+
+class Capture:
+    """Records frames entering one or more channels.
+
+    Parameters
+    ----------
+    specs:
+        Packet specs used (in order) to decode frames for rendering;
+        the first spec that parses *and verifies* a frame names it.
+    """
+
+    def __init__(self, specs: Sequence[Any] = ()) -> None:
+        self.specs = list(specs)
+        self.frames: List[CapturedFrame] = []
+        self._taps: List[Tuple[Channel, Any]] = []
+
+    def tap(self, channel: Channel) -> None:
+        """Start capturing frames submitted to ``channel``.
+
+        The tap wraps ``channel.send`` — losses/corruption applied *by*
+        the channel happen after the tap, so the capture shows what the
+        sender transmitted (like a tap at the sender's NIC).
+        """
+        original_send = channel.send
+
+        def tapped(frame: bytes) -> None:
+            self.frames.append(
+                CapturedFrame(
+                    time=channel.sim.now,
+                    channel_name=channel.name,
+                    data=bytes(frame),
+                    index=len(self.frames),
+                )
+            )
+            original_send(frame)
+
+        channel.send = tapped
+        self._taps.append((channel, original_send))
+
+    def untap_all(self) -> None:
+        """Restore every tapped channel's original send."""
+        for channel, original_send in self._taps:
+            channel.send = original_send
+        self._taps.clear()
+
+    def decode(self, frame: CapturedFrame) -> Tuple[Optional[Any], str]:
+        """Try each spec; returns (verified-or-None, description)."""
+        for spec in self.specs:
+            verified = spec.try_parse(frame.data)
+            if verified is not None:
+                packet = verified.value
+                fields = ", ".join(
+                    f"{name}={packet[name]!r}"
+                    for name in spec.field_names
+                    if not isinstance(packet[name], (bytes, bytearray))
+                    or len(packet[name]) <= 8
+                )
+                return verified, f"{spec.name} {{{fields}}}"
+        return None, f"UNPARSEABLE {len(frame.data)}B: {frame.data.hex()}"
+
+    def transcript(self) -> str:
+        """Render the whole capture, one line per frame."""
+        lines = []
+        for frame in self.frames:
+            _, description = self.decode(frame)
+            lines.append(
+                f"{frame.time:10.4f}  {frame.channel_name:<22} {description}"
+            )
+        return "\n".join(lines)
+
+    def parsed_frames(self) -> List[Tuple[CapturedFrame, Any]]:
+        """Frames that parse under some spec, with their verified packets."""
+        result = []
+        for frame in self.frames:
+            verified, _ = self.decode(frame)
+            if verified is not None:
+                result.append((frame, verified))
+        return result
+
+    def sequence_chart(self, width: int = 30) -> str:
+        """Render the capture as a text message-sequence chart.
+
+        Channel names of the form ``a->b`` place ``a`` on the left and
+        ``b`` on the right; frames travelling each way become arrows.
+        Undecodable frames are marked ``?`` (on a lossy link these are
+        the corrupted transmissions).
+        """
+        parties: List[str] = []
+        for frame in self.frames:
+            if "->" in frame.channel_name:
+                source, _, target = frame.channel_name.partition("->")
+                for name in (source, target):
+                    if name not in parties:
+                        parties.append(name)
+        if len(parties) < 2:
+            return self.transcript()
+        left, right = parties[0], parties[1]
+        header = f"{left:<12}{'':{width}}{right}"
+        lines = [header]
+        for frame in self.frames:
+            source, _, _ = frame.channel_name.partition("->")
+            verified, description = self.decode(frame)
+            label = description if verified is not None else "?corrupt/garbage"
+            if len(label) > width - 4:
+                label = label[: width - 5] + "…"
+            if source == left:
+                arrow = f"{label:-<{width - 1}}>"
+            else:
+                arrow = f"<{label:-<{width - 1}}"
+            lines.append(f"{frame.time:9.3f}  |{arrow}|")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.frames)

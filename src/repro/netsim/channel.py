@@ -1,0 +1,155 @@
+"""Point-to-point channels with configurable fault models.
+
+A :class:`Channel` carries byte frames one way between two endpoints,
+applying — in this order — loss, duplication, corruption, and a delay made
+of a fixed latency plus jitter.  Reordering arises naturally from jitter
+(two frames' delays can cross) and can be intensified with
+``reorder_rate``, which gives a frame an extra random delay.
+
+All randomness comes from a ``random.Random`` owned by the channel and
+seeded by the caller: runs are bit-for-bit reproducible, which the
+correctness experiments (E1) and the benchmark suite depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Fault and delay model for one direction of a link.
+
+    Attributes
+    ----------
+    loss_rate:
+        Probability a frame is silently dropped.
+    corruption_rate:
+        Probability a delivered frame has one random bit flipped.
+    duplication_rate:
+        Probability a frame is delivered twice (the copy gets its own
+        independent delay, so duplicates may also arrive reordered).
+    reorder_rate:
+        Probability a frame receives an extra ``reorder_delay`` on top of
+        its normal delay, pushing it behind later frames.
+    delay:
+        Fixed one-way latency in virtual seconds.
+    jitter:
+        Uniform extra delay in ``[0, jitter]``.
+    reorder_delay:
+        The extra delay applied to deliberately reordered frames.
+    """
+
+    loss_rate: float = 0.0
+    corruption_rate: float = 0.0
+    duplication_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay: float = 0.05
+    jitter: float = 0.0
+    reorder_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "corruption_rate", "duplication_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.delay < 0 or self.jitter < 0 or self.reorder_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass
+class ChannelStats:
+    """Counters describing what a channel did to its traffic."""
+
+    sent: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    delivered: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+
+class Channel:
+    """A unidirectional lossy channel.
+
+    Parameters
+    ----------
+    sim:
+        The event simulator driving delivery.
+    config:
+        Fault/delay model.
+    rng:
+        Seeded RNG; supply one per channel for reproducibility.
+    deliver:
+        Callback receiving each delivered frame (possibly corrupted).
+        May be set later via :meth:`connect`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ChannelConfig,
+        rng: random.Random,
+        deliver: Optional[Callable[[bytes], None]] = None,
+        name: str = "channel",
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        self.name = name
+        self._deliver = deliver
+        self.stats = ChannelStats()
+
+    def connect(self, deliver: Callable[[bytes], None]) -> None:
+        """Attach (or replace) the receive callback."""
+        self._deliver = deliver
+
+    def send(self, frame: bytes) -> None:
+        """Submit a frame; the fault model decides its fate."""
+        if self._deliver is None:
+            raise RuntimeError(f"channel {self.name!r} has no receiver connected")
+        if not isinstance(frame, (bytes, bytearray)):
+            raise TypeError(f"frames must be bytes, got {type(frame).__name__}")
+        frame = bytes(frame)
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(frame)
+        if self.rng.random() < self.config.loss_rate:
+            self.stats.dropped += 1
+            return
+        copies = 1
+        if self.rng.random() < self.config.duplication_rate:
+            copies = 2
+            self.stats.duplicated += 1
+        for _ in range(copies):
+            self._schedule_delivery(frame)
+
+    def _schedule_delivery(self, frame: bytes) -> None:
+        payload = frame
+        if self.rng.random() < self.config.corruption_rate and frame:
+            payload = self._flip_random_bit(frame)
+            self.stats.corrupted += 1
+        delay = self.config.delay + self.rng.uniform(0.0, self.config.jitter)
+        if self.rng.random() < self.config.reorder_rate:
+            delay += self.config.reorder_delay
+            self.stats.reordered += 1
+        self.sim.schedule(delay, lambda: self._deliver_now(payload))
+
+    def _flip_random_bit(self, frame: bytes) -> bytes:
+        bit_index = self.rng.randrange(len(frame) * 8)
+        corrupted = bytearray(frame)
+        corrupted[bit_index // 8] ^= 1 << (7 - bit_index % 8)
+        return bytes(corrupted)
+
+    def _deliver_now(self, frame: bytes) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += len(frame)
+        self._deliver(frame)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.name!r}, loss={self.config.loss_rate})"

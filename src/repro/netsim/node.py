@@ -1,0 +1,111 @@
+"""Nodes and duplex links: the simulator's host abstraction.
+
+A :class:`Node` is an addressable endpoint with a receive handler; a
+:class:`DuplexLink` wires two nodes together with two independent
+:class:`~repro.netsim.channel.Channel` instances (each direction gets its
+own fault model and RNG stream, as on a real asymmetric path).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, Optional
+
+from repro.netsim.channel import Channel, ChannelConfig
+from repro.netsim.simulator import Simulator
+
+ReceiveHandler = Callable[[bytes, str], None]
+
+
+class Node:
+    """A named endpoint that can send to, and receive from, its peers."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._handler: Optional[ReceiveHandler] = None
+        self._outgoing: Dict[str, Channel] = {}
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        """Install the receive handler: ``handler(frame, sender_name)``."""
+        self._handler = handler
+
+    def attach_outgoing(self, peer_name: str, channel: Channel) -> None:
+        """Register the channel used to reach ``peer_name``."""
+        self._outgoing[peer_name] = channel
+
+    @property
+    def peers(self) -> tuple:
+        """Names of nodes this node can send to."""
+        return tuple(sorted(self._outgoing))
+
+    def send(self, peer_name: str, frame: bytes) -> None:
+        """Send a frame toward a peer through the attached channel."""
+        try:
+            channel = self._outgoing[peer_name]
+        except KeyError:
+            raise KeyError(
+                f"node {self.name!r} has no link to {peer_name!r}; "
+                f"known peers: {sorted(self._outgoing)}"
+            ) from None
+        channel.send(frame)
+
+    def _receive(self, frame: bytes, sender_name: str) -> None:
+        if self._handler is None:
+            return  # unhandled frames are dropped, as on a closed port
+        self._handler(frame, sender_name)
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r})"
+
+
+class DuplexLink:
+    """A bidirectional link: two channels, two RNG streams.
+
+    Parameters
+    ----------
+    sim, a, b:
+        Simulator and the two endpoints.
+    config:
+        Fault model for the a->b direction (and b->a unless
+        ``reverse_config`` overrides it).
+    seed:
+        Base seed; each direction derives its own stream so traffic in one
+        direction never perturbs the other's fault sequence.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Node,
+        b: Node,
+        config: ChannelConfig,
+        seed: int = 0,
+        reverse_config: Optional[ChannelConfig] = None,
+    ) -> None:
+        self.a = a
+        self.b = b
+        # Stream seeds must not depend on str.__hash__ (randomized per
+        # process); CRC32 of a deterministic key keeps runs reproducible.
+        forward_seed = zlib.crc32(f"{seed}:{a.name}->{b.name}".encode())
+        backward_seed = zlib.crc32(f"{seed}:{b.name}->{a.name}".encode())
+        self.forward = Channel(
+            sim,
+            config,
+            random.Random(forward_seed),
+            name=f"{a.name}->{b.name}",
+        )
+        self.backward = Channel(
+            sim,
+            reverse_config or config,
+            random.Random(backward_seed),
+            name=f"{b.name}->{a.name}",
+        )
+        self.forward.connect(lambda frame: b._receive(frame, a.name))
+        self.backward.connect(lambda frame: a._receive(frame, b.name))
+        a.attach_outgoing(b.name, self.forward)
+        b.attach_outgoing(a.name, self.backward)
+
+    def __repr__(self) -> str:
+        return f"DuplexLink({self.a.name!r} <-> {self.b.name!r})"

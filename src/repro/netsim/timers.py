@@ -1,0 +1,76 @@
+"""Restartable timers on top of the event simulator.
+
+Protocol machines (ARQ retransmission, keepalives, adaptive HELLO
+intervals) need timers that can be started, stopped and restarted without
+leaking stale callbacks; :class:`Timer` wraps event cancellation so a
+restart atomically invalidates the previous expiry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.simulator import Event, Simulator
+
+
+class Timer:
+    """A one-shot, restartable timer.
+
+    The callback fires once per start unless the timer is stopped or
+    restarted first.  ``duration`` may be changed between starts (adaptive
+    retransmission timeouts do exactly that).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration: float,
+        callback: Callable[[], None],
+        name: str = "timer",
+    ) -> None:
+        if duration <= 0:
+            raise ValueError(f"timer duration must be positive, got {duration}")
+        self.sim = sim
+        self.duration = duration
+        self.callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self.expirations = 0
+        self.starts = 0
+
+    @property
+    def running(self) -> bool:
+        """True while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def remaining(self) -> float:
+        """Virtual seconds until expiry (0 when not running)."""
+        if not self.running:
+            return 0.0
+        return max(0.0, self._event.time - self.sim.now)
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """(Re)start the timer; an already-pending expiry is cancelled."""
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError(f"timer duration must be positive, got {duration}")
+            self.duration = duration
+        self.stop()
+        self.starts += 1
+        self._event = self.sim.schedule(self.duration, self._fire)
+
+    def stop(self) -> None:
+        """Cancel a pending expiry; no-op when idle."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.expirations += 1
+        self.callback()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "idle"
+        return f"Timer({self.name!r}, {self.duration}s, {state})"

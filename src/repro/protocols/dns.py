@@ -1,0 +1,124 @@
+"""The DNS message header (RFC 1035 §4.1.1) in the DSL.
+
+A dense, real-world exercise for sub-byte fields: the second 16-bit word
+of the DNS header packs seven fields (QR, Opcode, AA, TC, RD, RA, Z,
+RCODE) into exacting bit positions.  The spec also carries RFC 1035's
+semantic constraints — a response code only means something in responses,
+Z must be zero — which no grammar formalism can express.
+
+Also provided: :data:`DNS_QUESTION_FIXED`, the fixed tail of a question
+entry (QTYPE/QCLASS), and helpers to build simple query headers.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import Constraint
+from repro.core.fields import Flag, Reserved, UInt
+from repro.core.packet import PacketSpec
+
+OPCODES = {0: "QUERY", 1: "IQUERY", 2: "STATUS"}
+RCODES = {
+    0: "NoError",
+    1: "FormErr",
+    2: "ServFail",
+    3: "NXDomain",
+    4: "NotImp",
+    5: "Refused",
+}
+
+#: RFC 1035 §4.1.1 — the 12-byte DNS message header.
+DNS_HEADER = PacketSpec(
+    "DnsHeader",
+    fields=[
+        UInt("id", bits=16, doc="ID"),
+        Flag("qr", doc="QR"),
+        UInt("opcode", bits=4, enum=OPCODES, doc="Opcode"),
+        Flag("aa", doc="AA"),
+        Flag("tc", doc="TC"),
+        Flag("rd", doc="RD"),
+        Flag("ra", doc="RA"),
+        Reserved("z", bits=3, doc="Z"),
+        UInt("rcode", bits=4, enum=RCODES, doc="RCODE"),
+        UInt("qdcount", bits=16, doc="QDCOUNT"),
+        UInt("ancount", bits=16, doc="ANCOUNT"),
+        UInt("nscount", bits=16, doc="NSCOUNT"),
+        UInt("arcount", bits=16, doc="ARCOUNT"),
+    ],
+    constraints=[
+        Constraint(
+            "aa_only_in_responses",
+            lambda p: not p.aa or p.qr,
+            doc="Authoritative Answer is only meaningful in responses",
+        ),
+        Constraint(
+            "rcode_zero_in_queries",
+            lambda p: p.qr or p.rcode == 0,
+            doc="queries carry RCODE 0; response codes belong to responses",
+        ),
+        Constraint(
+            "answers_only_in_responses",
+            lambda p: p.qr or p.ancount == 0,
+            doc="a query carries no answer records",
+        ),
+    ],
+    doc="RFC 1035 DNS message header",
+)
+
+#: The fixed tail of a question entry (the QNAME is variable-length and
+#: label-compressed, outside this header-focused spec's scope).
+DNS_QUESTION_FIXED = PacketSpec(
+    "DnsQuestionFixed",
+    fields=[
+        UInt(
+            "qtype",
+            bits=16,
+            enum={1: "A", 2: "NS", 5: "CNAME", 12: "PTR", 15: "MX", 28: "AAAA"},
+            doc="QTYPE",
+        ),
+        UInt("qclass", bits=16, enum={1: "IN", 3: "CH"}, doc="QCLASS"),
+    ],
+    doc="RFC 1035 question entry, fixed part",
+)
+
+
+def make_query_header(transaction_id: int, questions: int = 1, recursion: bool = True):
+    """A standard-query DNS header, verified."""
+    packet = DNS_HEADER.make(
+        id=transaction_id,
+        qr=False,
+        opcode=0,
+        aa=False,
+        tc=False,
+        rd=recursion,
+        ra=False,
+        rcode=0,
+        qdcount=questions,
+        ancount=0,
+        nscount=0,
+        arcount=0,
+    )
+    return DNS_HEADER.verify(packet)
+
+
+def make_response_header(
+    transaction_id: int,
+    answers: int,
+    rcode: int = 0,
+    authoritative: bool = False,
+):
+    """A response DNS header matching a query's transaction id, verified."""
+    packet = DNS_HEADER.make(
+        id=transaction_id,
+        qr=True,
+        opcode=0,
+        aa=authoritative,
+        tc=False,
+        rd=True,
+        ra=True,
+        rcode=rcode,
+        qdcount=1,
+        ancount=answers,
+        nscount=0,
+        arcount=0,
+    )
+    return DNS_HEADER.verify(packet)

@@ -1,0 +1,272 @@
+"""A three-way connection handshake in the DSL.
+
+A compact demonstration that *control-plane* behaviour (the paper's §1.2
+scope explicitly includes protocols with a control-plane element) fits the
+same framework as data transfer: two machines — initiator and responder —
+negotiate a connection with SYN / SYN-ACK / ACK messages carrying random
+nonces, and the types guarantee that:
+
+* no side processes an unverified handshake message;
+* the initiator can only complete against the nonce it offered (the state
+  is *indexed by the nonce*, so a stale or forged SYN-ACK cannot move the
+  machine — the guard compares against the dependent state parameter);
+* both machines end in a consistent state: ``Established`` or ``Failed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.fields import ChecksumField, UInt
+from repro.core.machine import Machine
+from repro.core.packet import PacketSpec
+from repro.core.statemachine import MachineSpec, Param
+from repro.core.symbolic import Var
+from repro.netsim.channel import ChannelConfig
+from repro.netsim.node import DuplexLink, Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.timers import Timer
+
+MSG_SYN = 1
+MSG_SYN_ACK = 2
+MSG_ACK = 3
+
+#: Handshake message: a message type, the initiator's nonce and the
+#: responder's nonce (zero until assigned), integrity-protected.
+HANDSHAKE_PACKET = PacketSpec(
+    "Handshake",
+    fields=[
+        UInt(
+            "msg_type",
+            bits=8,
+            enum={MSG_SYN: "syn", MSG_SYN_ACK: "syn-ack", MSG_ACK: "ack"},
+            doc="message type",
+        ),
+        UInt("initiator_nonce", bits=16, doc="initiator's nonce"),
+        UInt("responder_nonce", bits=16, doc="responder's nonce"),
+        ChecksumField(
+            "chk",
+            algorithm="crc16-ccitt",
+            over=("msg_type", "initiator_nonce", "responder_nonce"),
+        ),
+    ],
+    doc="three-way handshake message",
+)
+
+
+def build_initiator_spec() -> MachineSpec:
+    """Initiator machine: Closed -> SynSent(nonce) -> Established / Failed."""
+    spec = MachineSpec("HandshakeInitiator")
+    closed = spec.state("Closed", initial=True)
+    nonce = Param("nonce", bits=16)
+    syn_sent = spec.state("SynSent", params=[nonce], doc="SYN sent, awaiting SYN-ACK")
+    established = spec.state("Established", params=[nonce], final=True)
+    failed = spec.state("Failed", final=True)
+    n = Var("nonce")
+    spec.transition(
+        "CONNECT", closed(), syn_sent(n), inputs=("nonce",), event="connect",
+        doc="send SYN carrying a fresh nonce; the state is indexed by it",
+    )
+    spec.transition(
+        "SYNACK", syn_sent(n), established(n), requires=HANDSHAKE_PACKET,
+        event="synack",
+        guard=lambda bindings, payload: (
+            payload.value.msg_type == MSG_SYN_ACK
+            and payload.value.initiator_nonce == bindings["nonce"]
+        ),
+        doc="verified SYN-ACK echoing our nonce: established",
+    )
+    spec.transition(
+        "GIVE_UP", syn_sent(n), failed(), event="timer",
+        doc="handshake timer expired: consistent failure",
+    )
+    spec.expect_events(syn_sent, ["synack", "timer"])
+    return spec.seal()
+
+
+def build_responder_spec() -> MachineSpec:
+    """Responder machine: Listen -> SynReceived(nonce) -> Established / Listen."""
+    spec = MachineSpec("HandshakeResponder")
+    listen = spec.state("Listen", initial=True)
+    nonce = Param("nonce", bits=16)
+    syn_received = spec.state("SynReceived", params=[nonce])
+    established = spec.state("Established", params=[nonce], final=True)
+    n = Var("nonce")
+    spec.transition(
+        "SYN", listen(), syn_received(n), requires=HANDSHAKE_PACKET,
+        inputs=("nonce",), event="syn",
+        guard=lambda bindings, payload: (
+            payload.value.msg_type == MSG_SYN
+            and payload.value.responder_nonce == 0  # not yet assigned
+            and bindings["nonce"] != 0
+        ),
+        doc="verified SYN: adopt a fresh nonce and reply with SYN-ACK",
+    )
+    spec.transition(
+        "ACK", syn_received(n), established(n), requires=HANDSHAKE_PACKET,
+        event="ack",
+        guard=lambda bindings, payload: (
+            payload.value.msg_type == MSG_ACK
+            and payload.value.responder_nonce == bindings["nonce"]
+        ),
+        doc="verified final ACK echoing our nonce: established",
+    )
+    spec.transition(
+        "RESET", syn_received(n), listen(), event="timer",
+        doc="handshake timer expired: return to listening",
+    )
+    spec.expect_events(syn_received, ["ack", "timer"])
+    return spec.seal()
+
+
+class HandshakeInitiator:
+    """Drives the initiator machine over a simulator node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        peer_name: str,
+        rng: random.Random,
+        timeout: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.peer_name = peer_name
+        self.rng = rng
+        self.machine = Machine(build_initiator_spec())
+        self.timer = Timer(sim, timeout, self._on_timeout, name="hs-initiator")
+        self.frames_sent = 0
+        node.on_receive(self._on_frame)
+
+    @property
+    def established(self) -> bool:
+        """True when the handshake completed."""
+        return self.machine.in_state("Established")
+
+    @property
+    def failed(self) -> bool:
+        """True when the handshake gave up."""
+        return self.machine.in_state("Failed")
+
+    def connect(self) -> None:
+        """Kick off the handshake with a fresh nonce."""
+        nonce = self.rng.randrange(1, 1 << 16)
+        self.machine.exec_trans("CONNECT", nonce=nonce)
+        packet = HANDSHAKE_PACKET.make(
+            msg_type=MSG_SYN, initiator_nonce=nonce, responder_nonce=0
+        )
+        self.node.send(self.peer_name, HANDSHAKE_PACKET.encode(packet))
+        self.frames_sent += 1
+        self.timer.start()
+
+    def _on_frame(self, frame: bytes, sender: str) -> None:
+        if not self.machine.in_state("SynSent"):
+            return
+        verified = HANDSHAKE_PACKET.try_parse(frame)
+        if verified is None or verified.value.msg_type != MSG_SYN_ACK:
+            return
+        if verified.value.initiator_nonce != self.machine.current.values[0]:
+            return  # stale or forged SYN-ACK: the guard would reject it too
+        self.machine.exec_trans("SYNACK", verified)
+        self.timer.stop()
+        reply = HANDSHAKE_PACKET.make(
+            msg_type=MSG_ACK,
+            initiator_nonce=verified.value.initiator_nonce,
+            responder_nonce=verified.value.responder_nonce,
+        )
+        self.node.send(self.peer_name, HANDSHAKE_PACKET.encode(reply))
+        self.frames_sent += 1
+
+    def _on_timeout(self) -> None:
+        if self.machine.in_state("SynSent"):
+            self.machine.exec_trans("GIVE_UP")
+
+
+class HandshakeResponder:
+    """Drives the responder machine over a simulator node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        peer_name: str,
+        rng: random.Random,
+        timeout: float = 4.0,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.peer_name = peer_name
+        self.rng = rng
+        self.machine = Machine(build_responder_spec())
+        self.timer = Timer(sim, timeout, self._on_timeout, name="hs-responder")
+        self.frames_sent = 0
+        node.on_receive(self._on_frame)
+
+    @property
+    def established(self) -> bool:
+        """True when the handshake completed."""
+        return self.machine.in_state("Established")
+
+    def _on_frame(self, frame: bytes, sender: str) -> None:
+        verified = HANDSHAKE_PACKET.try_parse(frame)
+        if verified is None:
+            return
+        message = verified.value
+        if self.machine.in_state("Listen") and message.msg_type == MSG_SYN:
+            nonce = self.rng.randrange(1, 1 << 16)
+            self.machine.exec_trans("SYN", verified, nonce=nonce)
+            reply = HANDSHAKE_PACKET.make(
+                msg_type=MSG_SYN_ACK,
+                initiator_nonce=message.initiator_nonce,
+                responder_nonce=nonce,
+            )
+            self.node.send(self.peer_name, HANDSHAKE_PACKET.encode(reply))
+            self.frames_sent += 1
+            self.timer.start()
+        elif self.machine.in_state("SynReceived") and message.msg_type == MSG_ACK:
+            if message.responder_nonce != self.machine.current.values[0]:
+                return
+            self.machine.exec_trans("ACK", verified)
+            self.timer.stop()
+
+    def _on_timeout(self) -> None:
+        if self.machine.in_state("SynReceived"):
+            self.machine.exec_trans("RESET")
+
+
+@dataclass
+class HandshakeReport:
+    """Outcome of a simulated handshake."""
+
+    established: bool
+    initiator_state: str
+    responder_state: str
+    frames_sent: int
+    duration: float
+
+
+def run_handshake(
+    config: Optional[ChannelConfig] = None,
+    seed: int = 0,
+    timeout: float = 2.0,
+) -> HandshakeReport:
+    """Run one three-way handshake over a (possibly faulty) link."""
+    sim = Simulator()
+    a = Node(sim, "initiator")
+    b = Node(sim, "responder")
+    DuplexLink(sim, a, b, config or ChannelConfig(), seed=seed)
+    rng = random.Random(seed)
+    initiator = HandshakeInitiator(sim, a, "responder", rng, timeout=timeout)
+    responder = HandshakeResponder(sim, b, "initiator", rng, timeout=2 * timeout)
+    initiator.connect()
+    sim.run()
+    return HandshakeReport(
+        established=initiator.established and responder.established,
+        initiator_state=initiator.machine.current.name,
+        responder_state=responder.machine.current.name,
+        frames_sent=initiator.frames_sent + responder.frames_sent,
+        duration=sim.now,
+    )

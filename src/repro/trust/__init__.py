@@ -1,0 +1,18 @@
+"""Trust-aware communication in untrusted networks (paper §1.1, ref [12]).
+
+Rogers & Bhatti's "lightweight mechanism for dependable communication in
+untrusted networks" learns which relays to trust by observing forwarding
+behaviour.  This package provides that behavioural hook and a synthetic
+relay mesh to exercise it (experiment E8):
+
+* :class:`~repro.trust.learning.TrustManager` — per-node trust scores
+  with Beta-style updates and epsilon-greedy exploration;
+* :class:`~repro.trust.mesh.RelayMesh` — a multi-path relay topology in
+  which some relays are compromised (dropping or corrupting traffic), and
+  path-selection strategies are compared round by round.
+"""
+
+from repro.trust.learning import TrustManager
+from repro.trust.mesh import MeshReport, RelayMesh, run_mesh_experiment
+
+__all__ = ["TrustManager", "RelayMesh", "MeshReport", "run_mesh_experiment"]

@@ -1,0 +1,83 @@
+"""Exploratory trust learning over forwarding nodes.
+
+Each node's trustworthiness is estimated from observed outcomes with a
+Beta-posterior mean — ``(successes + 1) / (successes + failures + 2)`` —
+which starts at the uninformed 0.5 and converges as evidence accumulates.
+Path selection is epsilon-greedy over the product of node scores: mostly
+exploit the most trusted path, but keep exploring so a compromised node
+that behaved well during probing is eventually found out (the "secure,
+exploratory learning of forwarding behaviour" of the paper's reference
+[12]).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+class TrustManager:
+    """Tracks per-node trust and selects forwarding paths."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        rng: random.Random = None,
+        decay: float = 1.0,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be a probability, got {epsilon}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.epsilon = epsilon
+        self.decay = decay
+        self.rng = rng or random.Random(0)
+        self._successes: Dict[str, float] = {}
+        self._failures: Dict[str, float] = {}
+
+    def trust(self, node: str) -> float:
+        """Beta-posterior mean trust for a node (0.5 when unobserved)."""
+        s = self._successes.get(node, 0.0)
+        f = self._failures.get(node, 0.0)
+        return (s + 1.0) / (s + f + 2.0)
+
+    def path_score(self, path: Sequence[str]) -> float:
+        """A path is only as trustworthy as the product of its relays."""
+        score = 1.0
+        for node in path:
+            score *= self.trust(node)
+        return score
+
+    def select_path(self, paths: Sequence[Sequence[str]]) -> Sequence[str]:
+        """Epsilon-greedy selection among candidate paths."""
+        if not paths:
+            raise ValueError("no candidate paths to select from")
+        if self.rng.random() < self.epsilon:
+            return self.rng.choice(list(paths))
+        return max(paths, key=self.path_score)
+
+    def record_success(self, path: Sequence[str]) -> None:
+        """Delivery succeeded: every relay on the path gains credit."""
+        for node in path:
+            self._apply_decay(node)
+            self._successes[node] = self._successes.get(node, 0.0) + 1.0
+
+    def record_failure(self, path: Sequence[str]) -> None:
+        """Delivery failed: every relay is suspect (the source cannot
+        localize the fault, exactly the setting of reference [12])."""
+        for node in path:
+            self._apply_decay(node)
+            self._failures[node] = self._failures.get(node, 0.0) + 1.0
+
+    def _apply_decay(self, node: str) -> None:
+        if self.decay < 1.0:
+            self._successes[node] = self._successes.get(node, 0.0) * self.decay
+            self._failures[node] = self._failures.get(node, 0.0) * self.decay
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Nodes sorted most-trusted first (observed nodes only)."""
+        nodes = set(self._successes) | set(self._failures)
+        return sorted(
+            ((node, self.trust(node)) for node in nodes),
+            key=lambda pair: (-pair[1], pair[0]),
+        )

@@ -1,0 +1,170 @@
+"""A synthetic relay mesh with compromised nodes (experiment E8).
+
+The topology is a layered mesh: the source reaches the destination through
+``hops`` layers of ``width`` relays each; a candidate path picks one relay
+per layer, so there are ``width ** hops`` paths.  A configurable fraction
+of relays is *compromised*: each drops (or corrupts, which the receiving
+end detects and treats as loss) traversing messages with high probability,
+while honest relays forward reliably apart from a small baseline loss.
+
+Strategies compared per round:
+
+* ``random`` — pick a uniformly random path every round (no learning);
+* ``fixed``  — pick one random path at the start and stay on it;
+* ``trust``  — :class:`~repro.trust.learning.TrustManager` epsilon-greedy
+  selection with success/failure feedback.
+
+The headline curve (delivery ratio vs compromised fraction) is the shape
+reference [12] reports: learned trust holds delivery high until the
+honest-path space itself vanishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.trust.learning import TrustManager
+
+
+@dataclass
+class MeshReport:
+    """Outcome of one mesh experiment."""
+
+    strategy: str
+    rounds: int
+    delivered: int
+    compromised_fraction: float
+    delivery_history: List[bool] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered rounds over total rounds."""
+        if self.rounds == 0:
+            return 0.0
+        return self.delivered / self.rounds
+
+    def late_delivery_ratio(self, tail_fraction: float = 0.5) -> float:
+        """Delivery ratio over the trailing part of the run (post-learning)."""
+        if not self.delivery_history:
+            return 0.0
+        start = int(len(self.delivery_history) * (1 - tail_fraction))
+        tail = self.delivery_history[start:]
+        return sum(tail) / len(tail) if tail else 0.0
+
+
+class RelayMesh:
+    """The layered relay topology with seeded fault assignment."""
+
+    def __init__(
+        self,
+        width: int = 4,
+        hops: int = 2,
+        compromised_fraction: float = 0.25,
+        compromised_drop_rate: float = 0.9,
+        baseline_loss: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if width < 1 or hops < 1:
+            raise ValueError("mesh needs at least one relay per layer and one hop")
+        if not 0.0 <= compromised_fraction <= 1.0:
+            raise ValueError("compromised_fraction must be a probability")
+        self.width = width
+        self.hops = hops
+        self.compromised_fraction = compromised_fraction
+        self.compromised_drop_rate = compromised_drop_rate
+        self.baseline_loss = baseline_loss
+        self.rng = random.Random(seed)
+        self.relays: List[str] = [
+            f"relay-{layer}-{index}"
+            for layer in range(hops)
+            for index in range(width)
+        ]
+        target = round(len(self.relays) * compromised_fraction)
+        shuffled = list(self.relays)
+        self.rng.shuffle(shuffled)
+        self.compromised = frozenset(shuffled[:target])
+
+    def layer(self, index: int) -> List[str]:
+        """Relay names in one layer."""
+        return [f"relay-{index}-{i}" for i in range(self.width)]
+
+    def all_paths(self) -> List[Tuple[str, ...]]:
+        """Every one-relay-per-layer path, in deterministic order."""
+        return [
+            tuple(choice)
+            for choice in itertools.product(
+                *(self.layer(i) for i in range(self.hops))
+            )
+        ]
+
+    def honest_paths_exist(self) -> bool:
+        """True when at least one fully honest path exists."""
+        return any(
+            all(node not in self.compromised for node in path)
+            for path in self.all_paths()
+        )
+
+    def attempt(self, path: Sequence[str]) -> bool:
+        """Send one message along ``path``; True if it arrives intact."""
+        for node in path:
+            if node in self.compromised:
+                if self.rng.random() < self.compromised_drop_rate:
+                    return False
+            if self.rng.random() < self.baseline_loss:
+                return False
+        return True
+
+
+def run_mesh_experiment(
+    strategy: str,
+    rounds: int = 400,
+    width: int = 4,
+    hops: int = 2,
+    compromised_fraction: float = 0.25,
+    compromised_drop_rate: float = 0.9,
+    baseline_loss: float = 0.02,
+    epsilon: float = 0.1,
+    seed: int = 0,
+) -> MeshReport:
+    """Run one strategy over a freshly seeded mesh."""
+    if strategy not in ("random", "fixed", "trust"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    mesh = RelayMesh(
+        width=width,
+        hops=hops,
+        compromised_fraction=compromised_fraction,
+        compromised_drop_rate=compromised_drop_rate,
+        baseline_loss=baseline_loss,
+        seed=seed,
+    )
+    paths = mesh.all_paths()
+    strategy_rng = random.Random(seed + 1)
+    manager = TrustManager(epsilon=epsilon, rng=strategy_rng)
+    fixed_path = strategy_rng.choice(paths)
+    delivered = 0
+    history: List[bool] = []
+    for _ in range(rounds):
+        if strategy == "random":
+            path = strategy_rng.choice(paths)
+        elif strategy == "fixed":
+            path = fixed_path
+        else:
+            path = manager.select_path(paths)
+        ok = mesh.attempt(path)
+        if strategy == "trust":
+            if ok:
+                manager.record_success(path)
+            else:
+                manager.record_failure(path)
+        delivered += int(ok)
+        history.append(ok)
+    return MeshReport(
+        strategy=strategy,
+        rounds=rounds,
+        delivered=delivered,
+        compromised_fraction=compromised_fraction,
+        delivery_history=history,
+    )

@@ -1,0 +1,37 @@
+"""Bit-level wire I/O and checksum algorithms.
+
+This package is the lowest substrate of the library: everything that touches
+"on-the-wire" bytes goes through :class:`BitReader` / :class:`BitWriter`, and
+every integrity algorithm used by packet specifications lives in
+:mod:`repro.wire.checksums`.
+
+The bit order follows RFC 791 conventions (and the paper's Figure 1): bit 0
+of a byte is its most significant bit, and multi-byte integers are
+transmitted in network byte order (big-endian) unless a field explicitly
+opts into little-endian encoding.
+"""
+
+from repro.wire.bits import BitReader, BitWriter, ByteOrder, TruncatedDataError
+from repro.wire.checksums import (
+    CHECKSUM_ALGORITHMS,
+    adler32,
+    crc16_ccitt,
+    crc32,
+    fletcher16,
+    internet_checksum,
+    xor8,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "ByteOrder",
+    "TruncatedDataError",
+    "CHECKSUM_ALGORITHMS",
+    "adler32",
+    "crc16_ccitt",
+    "crc32",
+    "fletcher16",
+    "internet_checksum",
+    "xor8",
+]

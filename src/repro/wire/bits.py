@@ -1,0 +1,234 @@
+"""Bit-granular readers and writers over byte buffers.
+
+Network protocol headers routinely pack several fields into a single byte
+(IPv4's ``Version`` and ``IHL`` share one octet, ``Flags`` takes three bits
+of a 16-bit word).  :class:`BitWriter` and :class:`BitReader` provide exact,
+symmetric access at bit granularity, using the RFC bit-numbering convention:
+the first bit written or read is the most significant bit of the first byte.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ByteOrder(enum.Enum):
+    """Byte order for multi-byte integer fields.
+
+    ``BIG`` is network byte order and the default everywhere; ``LITTLE`` is
+    provided for protocols (and file formats) that deviate from it.
+    """
+
+    BIG = "big"
+    LITTLE = "little"
+
+
+class TruncatedDataError(ValueError):
+    """Raised when a read runs past the end of the underlying buffer."""
+
+    def __init__(self, requested_bits: int, available_bits: int) -> None:
+        self.requested_bits = requested_bits
+        self.available_bits = available_bits
+        super().__init__(
+            f"requested {requested_bits} bits but only "
+            f"{available_bits} bits remain"
+        )
+
+
+class MisalignedReadError(ValueError):
+    """Raised when a byte-granular operation happens off a byte boundary."""
+
+
+class BitWriter:
+    """Accumulates an on-the-wire byte string, bit by bit.
+
+    Bits are written most-significant-first within each byte, matching the
+    numbering used in RFC "ASCII picture" header diagrams.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write_uint(4, 4)    # IPv4 Version
+    >>> w.write_uint(5, 4)    # IHL
+    >>> w.getvalue()
+    b'E'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bit_position = 0  # bits used in the trailing partial byte
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        if self._bit_position:
+            return (len(self._buffer) - 1) * 8 + self._bit_position
+        return len(self._buffer) * 8
+
+    @property
+    def is_byte_aligned(self) -> bool:
+        """True when the next write starts on a byte boundary."""
+        return self._bit_position == 0
+
+    def write_uint(
+        self,
+        value: int,
+        bits: int,
+        byteorder: ByteOrder = ByteOrder.BIG,
+    ) -> None:
+        """Write ``value`` as an unsigned integer occupying ``bits`` bits.
+
+        Little-endian order is only meaningful (and only permitted) for
+        byte-aligned fields whose width is a whole number of bytes.
+        """
+        if bits <= 0:
+            raise ValueError(f"bit width must be positive, got {bits}")
+        if value < 0:
+            raise ValueError(f"cannot encode negative value {value}")
+        if value >= (1 << bits):
+            raise ValueError(f"value {value} does not fit in {bits} bits")
+        if byteorder is ByteOrder.LITTLE:
+            if bits % 8 != 0:
+                raise ValueError(
+                    "little-endian fields must span whole bytes, "
+                    f"got {bits} bits"
+                )
+            self.write_bytes(value.to_bytes(bits // 8, "little"))
+            return
+        for shift in range(bits - 1, -1, -1):
+            self._write_bit((value >> shift) & 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Write raw bytes; fast path when byte-aligned."""
+        if self._bit_position == 0:
+            self._buffer.extend(data)
+            return
+        for byte in data:
+            self.write_uint(byte, 8)
+
+    def write_bool(self, flag: bool) -> None:
+        """Write a single flag bit."""
+        self._write_bit(1 if flag else 0)
+
+    def pad_to_byte(self) -> None:
+        """Write zero bits until the next byte boundary."""
+        while self._bit_position != 0:
+            self._write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """Return the bytes written so far.
+
+        A trailing partial byte is zero-padded on the right, as it would be
+        on the wire.
+        """
+        return bytes(self._buffer)
+
+    def _write_bit(self, bit: int) -> None:
+        if self._bit_position == 0:
+            self._buffer.append(0)
+        if bit:
+            self._buffer[-1] |= 1 << (7 - self._bit_position)
+        self._bit_position = (self._bit_position + 1) % 8
+
+
+class BitReader:
+    """Reads bit fields back out of an on-the-wire byte string.
+
+    The reader is a cursor over ``data``; reads consume bits in the same
+    order :class:`BitWriter` produced them.
+
+    Example
+    -------
+    >>> r = BitReader(b'E')
+    >>> r.read_uint(4), r.read_uint(4)
+    (4, 5)
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._bit_cursor = 0
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits not yet consumed."""
+        return len(self._data) * 8 - self._bit_cursor
+
+    @property
+    def bits_consumed(self) -> int:
+        """Bits consumed so far."""
+        return self._bit_cursor
+
+    @property
+    def is_byte_aligned(self) -> bool:
+        """True when the cursor sits on a byte boundary."""
+        return self._bit_cursor % 8 == 0
+
+    @property
+    def at_end(self) -> bool:
+        """True when every bit has been consumed."""
+        return self._bit_cursor == len(self._data) * 8
+
+    def read_uint(
+        self,
+        bits: int,
+        byteorder: ByteOrder = ByteOrder.BIG,
+    ) -> int:
+        """Read ``bits`` bits as an unsigned integer."""
+        if bits <= 0:
+            raise ValueError(f"bit width must be positive, got {bits}")
+        if bits > self.bits_remaining:
+            raise TruncatedDataError(bits, self.bits_remaining)
+        if byteorder is ByteOrder.LITTLE:
+            if bits % 8 != 0:
+                raise ValueError(
+                    "little-endian fields must span whole bytes, "
+                    f"got {bits} bits"
+                )
+            return int.from_bytes(self.read_bytes(bits // 8), "little")
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self._read_bit()
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` raw bytes; fast path when byte-aligned."""
+        if count < 0:
+            raise ValueError(f"byte count must be non-negative, got {count}")
+        if count * 8 > self.bits_remaining:
+            raise TruncatedDataError(count * 8, self.bits_remaining)
+        if self._bit_cursor % 8 == 0:
+            start = self._bit_cursor // 8
+            self._bit_cursor += count * 8
+            return self._data[start : start + count]
+        return bytes(self.read_uint(8) for _ in range(count))
+
+    def read_bool(self) -> bool:
+        """Read a single flag bit."""
+        if self.bits_remaining < 1:
+            raise TruncatedDataError(1, 0)
+        return bool(self._read_bit())
+
+    def read_remaining(self) -> bytes:
+        """Consume and return every remaining whole byte.
+
+        Raises :class:`MisalignedReadError` off a byte boundary, because
+        "the rest of the packet" is only well defined byte-aligned.
+        """
+        if self._bit_cursor % 8 != 0:
+            raise MisalignedReadError(
+                "read_remaining requires byte alignment, cursor is at bit "
+                f"{self._bit_cursor}"
+            )
+        return self.read_bytes(self.bits_remaining // 8)
+
+    def skip_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        remainder = self._bit_cursor % 8
+        if remainder:
+            self._bit_cursor += 8 - remainder
+
+    def _read_bit(self) -> int:
+        byte = self._data[self._bit_cursor // 8]
+        bit = (byte >> (7 - self._bit_cursor % 8)) & 1
+        self._bit_cursor += 1
+        return bit

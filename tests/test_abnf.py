@@ -1,0 +1,184 @@
+"""The RFC 5234 ABNF engine: grammar parsing and matching."""
+
+import pytest
+
+from repro.abnf import (
+    AbnfMatchError,
+    AbnfSyntaxError,
+    Alternation,
+    CharLiteral,
+    Matcher,
+    NumRange,
+    NumSet,
+    Repetition,
+    RuleRef,
+    parse_grammar,
+)
+
+
+class TestGrammarParsing:
+    def test_simple_rule(self):
+        grammar = parse_grammar('greeting = "hello"')
+        rule = grammar.rule("greeting")
+        assert isinstance(rule, CharLiteral)
+        assert rule.text == "hello"
+
+    def test_rule_names_case_insensitive(self):
+        grammar = parse_grammar('Greeting = "hi"')
+        assert grammar.rule("GREETING") == grammar.rule("greeting")
+
+    def test_alternation_and_concatenation(self):
+        grammar = parse_grammar('x = "a" "b" / "c"')
+        rule = grammar.rule("x")
+        assert isinstance(rule, Alternation)
+        assert len(rule.choices) == 2
+
+    def test_repetition_forms(self):
+        grammar = parse_grammar(
+            'a = *DIGIT\nb = 1*DIGIT\nc = 2*4DIGIT\nd = 3DIGIT\ne = [DIGIT]'
+        )
+        a = grammar.rule("a")
+        assert isinstance(a, Repetition) and a.minimum == 0 and a.maximum is None
+        b = grammar.rule("b")
+        assert b.minimum == 1 and b.maximum is None
+        c = grammar.rule("c")
+        assert c.minimum == 2 and c.maximum == 4
+        d = grammar.rule("d")
+        assert d.minimum == 3 and d.maximum == 3
+        e = grammar.rule("e")
+        assert e.minimum == 0 and e.maximum == 1
+
+    def test_numeric_values(self):
+        grammar = parse_grammar("crlf2 = %d13.10\nhexr = %x41-5A\nbits = %b1010")
+        assert grammar.rule("crlf2") == NumSet((13, 10))
+        assert grammar.rule("hexr") == NumRange(0x41, 0x5A)
+        assert grammar.rule("bits") == NumSet((0b1010,))
+
+    def test_comments_stripped(self):
+        grammar = parse_grammar('x = "a" ; trailing comment\n; full line\ny = "b"')
+        assert grammar.rule("x") == CharLiteral("a")
+        assert grammar.rule("y") == CharLiteral("b")
+
+    def test_continuation_lines(self):
+        grammar = parse_grammar('x = "a" /\n    "b"')
+        assert isinstance(grammar.rule("x"), Alternation)
+
+    def test_incremental_alternative(self):
+        grammar = parse_grammar('x = "a"\nx =/ "b"')
+        rule = grammar.rule("x")
+        assert isinstance(rule, Alternation)
+        assert len(rule.choices) == 2
+
+    def test_incremental_without_base_rejected(self):
+        with pytest.raises(AbnfSyntaxError, match="undefined rule"):
+            parse_grammar('x =/ "a"')
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(AbnfSyntaxError, match="defined twice"):
+            parse_grammar('x = "a"\nx = "b"')
+
+    def test_syntax_errors_reported(self):
+        with pytest.raises(AbnfSyntaxError):
+            parse_grammar('x = ("a"')
+        with pytest.raises(AbnfSyntaxError):
+            parse_grammar('x = %q12')
+        with pytest.raises(AbnfSyntaxError, match="without"):
+            parse_grammar("justaname")
+
+    def test_core_rules_available(self):
+        grammar = parse_grammar('x = ALPHA DIGIT CRLF')
+        assert "alpha" in grammar.rule_names()
+        assert "octet" in grammar.rule_names()
+
+    def test_undefined_references_lint(self):
+        grammar = parse_grammar("x = ghost-rule DIGIT")
+        assert grammar.undefined_references() == ["ghost-rule"]
+
+
+class TestMatching:
+    def test_literal_case_insensitive_by_default(self):
+        matcher = Matcher(parse_grammar('m = "Get"'))
+        assert matcher.fullmatch("m", "GET")
+        assert matcher.fullmatch("m", "get")
+
+    def test_case_sensitive_literal(self):
+        matcher = Matcher(parse_grammar('m = %s"POST"'))
+        assert matcher.fullmatch("m", "POST")
+        assert not matcher.fullmatch("m", "post")
+
+    def test_repetition_bounds(self):
+        matcher = Matcher(parse_grammar('m = 2*3"ab"'))
+        assert not matcher.fullmatch("m", "ab")
+        assert matcher.fullmatch("m", "abab")
+        assert matcher.fullmatch("m", "ababab")
+        assert not matcher.fullmatch("m", "abababab")
+
+    def test_alternation_backtracks(self):
+        # First alternative matches a prefix; matching must backtrack to
+        # the second to consume the full input.
+        matcher = Matcher(parse_grammar('m = ("a" / "ab") "c"'))
+        assert matcher.fullmatch("m", "abc")
+        assert matcher.fullmatch("m", "ac")
+
+    def test_greedy_star_backtracks(self):
+        matcher = Matcher(parse_grammar('m = *ALPHA "x"'))
+        assert matcher.fullmatch("m", "abcx")
+        assert matcher.fullmatch("m", "x")
+
+    def test_numeric_range_on_bytes(self):
+        matcher = Matcher(parse_grammar("m = %x00-1F"))
+        assert matcher.fullmatch("m", b"\x05")
+        assert not matcher.fullmatch("m", b"\x20")
+
+    def test_prefix_lengths(self):
+        matcher = Matcher(parse_grammar('m = *"ab"'))
+        assert matcher.prefix_lengths("m", "ababX") == [0, 2, 4]
+
+    def test_prose_value_refuses_to_match(self):
+        matcher = Matcher(parse_grammar("m = <some informal prose>"))
+        with pytest.raises(AbnfMatchError, match="prose"):
+            matcher.fullmatch("m", "anything")
+
+    def test_undefined_rule_reference_raises(self):
+        matcher = Matcher(parse_grammar("m = ghost"))
+        with pytest.raises(AbnfMatchError, match="undefined rule"):
+            matcher.fullmatch("m", "x")
+
+    def test_left_recursion_detected(self):
+        matcher = Matcher(parse_grammar('m = m "a"'), max_depth=50)
+        with pytest.raises(AbnfMatchError, match="recursi"):
+            matcher.fullmatch("m", "aaa")
+
+    def test_zero_width_repeat_terminates(self):
+        matcher = Matcher(parse_grammar('m = *( *"x" ) "end"'))
+        assert matcher.fullmatch("m", "end")
+
+    def test_realistic_message_grammar(self):
+        grammar = parse_grammar(
+            """
+            request = method SP path SP version CRLF
+            method = "GET" / "HEAD" / "POST"
+            path = "/" *(ALPHA / DIGIT / "/" / "." / "-")
+            version = "HTTP/" DIGIT "." DIGIT
+            """
+        )
+        matcher = Matcher(grammar)
+        assert matcher.fullmatch("request", "GET /index.html HTTP/1.1\r\n")
+        assert not matcher.fullmatch("request", "YEET / HTTP/1.1\r\n")
+        assert not matcher.fullmatch("request", "GET /index.html HTTP/1.1")
+
+    def test_exported_dsl_grammar_parses_and_matches(self):
+        """The DSL's ABNF exporter emits grammar this engine accepts."""
+        from repro.core.abnf_export import export_abnf
+        from repro.protocols.arq import ARQ_PACKET
+
+        grammar = parse_grammar(export_abnf(ARQ_PACKET))
+        matcher = Matcher(grammar)
+        wire = ARQ_PACKET.encode(ARQ_PACKET.make(seq=1, length=2, payload=b"ok"))
+        assert matcher.fullmatch("arqdata", wire)
+        # And the semantic gap: ABNF also accepts a CORRUPTED packet —
+        # the checksum constraint is invisible to it (the paper's point).
+        corrupted = bytearray(wire)
+        corrupted[1] ^= 0xFF
+        assert matcher.fullmatch("arqdata", bytes(corrupted))
+        assert ARQ_PACKET.try_parse(bytes(corrupted)) is None

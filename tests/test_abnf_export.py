@@ -1,0 +1,83 @@
+"""The DSL -> ABNF exporter and the semantic gap it documents."""
+
+from repro.abnf import Matcher, parse_grammar
+from repro.core.abnf_export import export_abnf
+from repro.core.fields import Bytes, ChecksumField, Flag, Reserved, UInt, UIntList
+from repro.core.packet import PacketSpec
+from repro.core.symbolic import this
+from repro.protocols.headers import IPV4_HEADER, UDP_HEADER
+
+
+class TestExportStructure:
+    def test_top_rule_lists_fields_in_order(self):
+        spec = PacketSpec(
+            "Simple", fields=[UInt("a", bits=8), Bytes("body", length=2)]
+        )
+        text = export_abnf(spec)
+        assert "simple = simple-a simple-body" in text
+        assert "simple-a = OCTET" in text
+        assert "simple-body = 2OCTET" in text
+
+    def test_bit_fields_grouped_into_octets(self):
+        spec = PacketSpec(
+            "Bits",
+            fields=[UInt("v", bits=4), UInt("h", bits=4), UInt("w", bits=8)],
+        )
+        text = export_abnf(spec)
+        assert "bits-bits1 = OCTET" in text
+        assert "v:4 h:4" in text
+
+    def test_greedy_bytes_star_octet(self):
+        spec = PacketSpec("G", fields=[UInt("a", bits=8), Bytes("rest")])
+        assert "g-rest = *OCTET" in export_abnf(spec)
+
+    def test_semantic_gaps_documented(self):
+        text = export_abnf(UDP_HEADER)
+        assert "NOT expressible in ABNF" in text
+        assert "internet" in text  # the checksum algorithm is named
+
+    def test_dependent_length_noted(self):
+        spec = PacketSpec(
+            "Dep",
+            fields=[UInt("length", bits=8), Bytes("payload", length=this.length)],
+        )
+        text = export_abnf(spec)
+        assert "this.length" in text
+
+    def test_uint_list_noted(self):
+        spec = PacketSpec(
+            "L",
+            fields=[
+                UInt("n", bits=8),
+                UIntList("xs", element_bits=16, count=this.n),
+            ],
+        )
+        text = export_abnf(spec)
+        assert "dependent counts" in text
+
+
+class TestExportedGrammarsAreValid:
+    def test_ipv4_export_parses(self):
+        grammar = parse_grammar(export_abnf(IPV4_HEADER))
+        assert "ipv4header" in grammar.rule_names()
+        assert grammar.undefined_references() == []
+
+    def test_udp_export_accepts_real_wire_bytes(self):
+        grammar = parse_grammar(export_abnf(UDP_HEADER))
+        matcher = Matcher(grammar)
+        packet = UDP_HEADER.make(
+            source_port=1, destination_port=2, length=8 + 3, payload=b"abc"
+        )
+        assert matcher.fullmatch("udpdatagram", UDP_HEADER.encode(packet))
+
+    def test_exported_grammar_is_strictly_weaker(self):
+        """ABNF accepts packets the DSL rejects: the containment claim."""
+        grammar = parse_grammar(export_abnf(UDP_HEADER))
+        matcher = Matcher(grammar)
+        packet = UDP_HEADER.make(
+            source_port=1, destination_port=2, length=8 + 3, payload=b"abc"
+        )
+        corrupted = bytearray(UDP_HEADER.encode(packet))
+        corrupted[6] ^= 0xFF  # break the checksum
+        assert matcher.fullmatch("udpdatagram", bytes(corrupted))
+        assert UDP_HEADER.try_parse(bytes(corrupted)) is None

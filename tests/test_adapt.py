@@ -1,0 +1,229 @@
+"""Adaptation hooks: fuzzy inference, streaming control, adaptive timers."""
+
+import pytest
+
+from repro.adapt.fuzzy import (
+    FuzzyRule,
+    FuzzySystem,
+    LinguisticVariable,
+    TrapezoidMF,
+    TriangularMF,
+    build_rate_controller,
+)
+from repro.adapt.streaming import run_streaming_session, stepped_capacity
+from repro.adapt.timers import (
+    AdaptiveIntervalController,
+    RttEstimator,
+    run_hello_protocol,
+)
+
+
+class TestMembershipFunctions:
+    def test_triangle_peak_and_feet(self):
+        mf = TriangularMF(0.0, 0.5, 1.0)
+        assert mf(0.5) == 1.0
+        assert mf(0.0) == 0.0
+        assert mf(1.0) == 0.0
+        assert mf(0.25) == pytest.approx(0.5)
+
+    def test_shoulder_triangle(self):
+        mf = TriangularMF(0.0, 0.0, 1.0)
+        assert mf(0.0) == 1.0
+        assert mf(0.5) == pytest.approx(0.5)
+
+    def test_trapezoid_plateau(self):
+        mf = TrapezoidMF(0.0, 0.2, 0.8, 1.0)
+        assert mf(0.5) == 1.0
+        assert mf(0.1) == pytest.approx(0.5)
+        assert mf(0.9) == pytest.approx(0.5)
+
+    def test_unordered_points_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMF(1.0, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            TrapezoidMF(0.0, 0.9, 0.5, 1.0)
+
+
+class TestFuzzySystem:
+    def test_rule_validation(self):
+        loss = LinguisticVariable(
+            "loss", {"low": TriangularMF(0, 0, 1)}, 0.0, 1.0
+        )
+        out = LinguisticVariable(
+            "adj", {"hold": TriangularMF(0, 1, 2)}, 0.0, 2.0
+        )
+        with pytest.raises(ValueError, match="unknown input"):
+            FuzzySystem([loss], out, [FuzzyRule((("ghost", "low"),), "hold")])
+        with pytest.raises(ValueError, match="no term"):
+            FuzzySystem([loss], out, [FuzzyRule((("loss", "high"),), "hold")])
+
+    def test_inference_requires_exact_inputs(self):
+        controller = build_rate_controller()
+        with pytest.raises(ValueError, match="inputs must be exactly"):
+            controller.infer(loss=0.1)
+
+    def test_high_loss_cuts_rate(self):
+        controller = build_rate_controller()
+        assert controller.infer(loss=0.5, delay=0.5) < 0.8
+
+    def test_clean_network_probes(self):
+        controller = build_rate_controller()
+        assert controller.infer(loss=0.0, delay=0.0) > 1.1
+
+    def test_moderate_conditions_hold_or_reduce(self):
+        controller = build_rate_controller()
+        factor = controller.infer(loss=0.05, delay=0.4)
+        assert 0.4 < factor < 1.2
+
+    def test_output_is_monotone_in_loss(self):
+        controller = build_rate_controller()
+        factors = [
+            controller.infer(loss=loss, delay=0.2)
+            for loss in (0.0, 0.05, 0.15, 0.4)
+        ]
+        assert all(a >= b for a, b in zip(factors, factors[1:]))
+
+
+class TestStreaming:
+    # staticmethod: a bare function stored on the class would otherwise be
+    # bound as a method when accessed through self.
+    CAPACITY = staticmethod(
+        stepped_capacity([4.0, 1.0, 3.0, 0.5, 5.0], slot_duration=12.0)
+    )
+
+    def test_fuzzy_loses_less_than_static(self):
+        static = run_streaming_session(
+            self.CAPACITY, duration=60, initial_rate=3.0, policy="static"
+        )
+        fuzzy = run_streaming_session(
+            self.CAPACITY, duration=60, initial_rate=3.0, policy="fuzzy"
+        )
+        assert fuzzy.loss_fraction < static.loss_fraction / 2
+
+    def test_fuzzy_has_better_utility(self):
+        static = run_streaming_session(
+            self.CAPACITY, duration=60, initial_rate=3.0, policy="static"
+        )
+        fuzzy = run_streaming_session(
+            self.CAPACITY, duration=60, initial_rate=3.0, policy="fuzzy"
+        )
+        assert fuzzy.utility > static.utility
+
+    def test_static_keeps_its_rate(self):
+        report = run_streaming_session(
+            self.CAPACITY, duration=30, initial_rate=2.0, policy="static"
+        )
+        assert all(rate == 2.0 for rate in report.rate_history)
+
+    def test_fuzzy_tracks_capacity_down(self):
+        capacity = stepped_capacity([5.0, 0.5], slot_duration=30.0)
+        report = run_streaming_session(
+            capacity, duration=60, initial_rate=4.0, policy="fuzzy"
+        )
+        assert report.rate_history[-1] < 1.5  # backed off toward 0.5
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_streaming_session(self.CAPACITY, policy="psychic")
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            stepped_capacity([])
+        with pytest.raises(ValueError):
+            stepped_capacity([1.0, -1.0])
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        estimator = RttEstimator()
+        rto = estimator.sample(0.2)
+        assert estimator.srtt == 0.2
+        assert rto == pytest.approx(0.2 + 4 * 0.1)
+
+    def test_smoothing_converges(self):
+        estimator = RttEstimator()
+        for _ in range(100):
+            estimator.sample(0.3)
+        assert estimator.srtt == pytest.approx(0.3, abs=0.01)
+        assert estimator.rto == pytest.approx(0.3, abs=0.05)
+
+    def test_variance_raises_rto(self):
+        steady = RttEstimator()
+        jittery = RttEstimator()
+        for i in range(50):
+            steady.sample(0.3)
+            jittery.sample(0.1 if i % 2 else 0.5)
+        assert jittery.rto > steady.rto
+
+    def test_karn_backoff_doubles(self):
+        estimator = RttEstimator(initial_rto=1.0)
+        assert estimator.on_retransmit() == 2.0
+        assert estimator.on_retransmit() == 4.0
+
+    def test_rto_clamped(self):
+        estimator = RttEstimator(initial_rto=1.0, max_rto=8.0)
+        for _ in range(10):
+            estimator.on_retransmit()
+        assert estimator.rto == 8.0
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(0.0)
+
+
+class TestAdaptiveInterval:
+    def test_churn_shortens_interval(self):
+        controller = AdaptiveIntervalController()
+        for _ in range(10):
+            controller.observe(changes=10, elapsed=1.0)
+        assert controller.interval < controller.base_interval
+
+    def test_stability_lengthens_interval(self):
+        controller = AdaptiveIntervalController()
+        for _ in range(20):
+            controller.observe(changes=0, elapsed=2.0)
+        assert controller.interval > controller.base_interval
+
+    def test_interval_respects_bounds(self):
+        controller = AdaptiveIntervalController(
+            min_interval=0.5, base_interval=1.0, max_interval=4.0
+        )
+        for _ in range(50):
+            controller.observe(changes=100, elapsed=0.5)
+        assert controller.interval >= 0.5
+        for _ in range(50):
+            controller.observe(changes=0, elapsed=10.0)
+        assert controller.interval <= 4.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveIntervalController(
+                min_interval=2.0, base_interval=1.0, max_interval=4.0
+            )
+
+    def test_elapsed_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdaptiveIntervalController().observe(changes=1, elapsed=0.0)
+
+
+class TestHelloProtocol:
+    def test_adaptive_beats_fixed_latency_under_churn(self):
+        fixed = run_hello_protocol([3.0, 3.0], policy="fixed", seed=1)
+        adaptive = run_hello_protocol([3.0, 3.0], policy="adaptive", seed=1)
+        assert adaptive.mean_detection_latency < fixed.mean_detection_latency
+
+    def test_adaptive_beats_fixed_overhead_when_calm(self):
+        fixed = run_hello_protocol([0.01, 0.01], policy="fixed", seed=2)
+        adaptive = run_hello_protocol([0.01, 0.01], policy="adaptive", seed=2)
+        assert adaptive.hellos_sent < fixed.hellos_sent
+
+    def test_reports_are_consistent(self):
+        report = run_hello_protocol([1.0], policy="fixed", seed=3)
+        assert report.changes == len(report.detection_latencies)
+        assert report.overhead_rate == pytest.approx(
+            report.hellos_sent / report.duration
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_hello_protocol([1.0], policy="magic")

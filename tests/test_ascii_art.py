@@ -1,0 +1,116 @@
+"""The ASCII header renderer — including the Figure 1 reproduction."""
+
+import re
+
+import pytest
+
+from repro.core.ascii_art import RenderError, diagram_rows, render_header_diagram
+from repro.core.fields import Bytes, UInt
+from repro.core.packet import PacketSpec
+from repro.protocols.headers import IPV4_HEADER
+
+
+def normalized_rows(diagram: str):
+    """Field rows with intra-cell whitespace collapsed, for layout tests."""
+    rows = []
+    for line in diagram.splitlines():
+        if line.startswith("|"):
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            rows.append(cells)
+    return rows
+
+
+class TestFigure1:
+    """The paper's Figure 1: the RFC 791 IPv4 header picture."""
+
+    def test_bit_ruler_matches_rfc791(self):
+        diagram = render_header_diagram(IPV4_HEADER)
+        lines = diagram.splitlines()
+        assert lines[0] == (
+            " 0                   1                   2                   3"
+        )
+        assert lines[1] == (
+            " 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1"
+        )
+
+    def test_separator_rule_is_rfc_style(self):
+        diagram = render_header_diagram(IPV4_HEADER)
+        rule = "+" + "-+" * 32
+        assert diagram.splitlines()[2] == rule
+
+    def test_row_labels_match_figure_1(self):
+        """Same fields, same rows, same order as the paper's figure."""
+        rows = normalized_rows(render_header_diagram(IPV4_HEADER))
+        assert rows[0] == ["Version", "IHL", "Type of Service", "Total Length"]
+        assert rows[1] == ["Identification", "Flags", "Fragment Offset"]
+        assert rows[2] == ["Time to Live", "Protocol", "Header Checksum"]
+        assert rows[3] == ["Source Address"]
+        assert rows[4] == ["Destination Address"]
+        assert rows[5] == ["Options (variable)"]
+
+    def test_cell_widths_encode_bit_widths(self):
+        """A field of b bits occupies exactly 2*b-1 characters."""
+        diagram = render_header_diagram(IPV4_HEADER)
+        first_field_row = diagram.splitlines()[3]
+        cells = first_field_row.strip("|").split("|")
+        assert [len(c) for c in cells] == [7, 7, 15, 31]  # 4,4,8,16 bits
+
+    def test_layout_offsets_match_rfc791(self):
+        rows = diagram_rows(IPV4_HEADER)
+        offsets = {name: (start, width) for name, start, width in rows}
+        assert offsets["version"] == (0, 4)
+        assert offsets["ihl"] == (4, 4)
+        assert offsets["tos"] == (8, 8)
+        assert offsets["total_length"] == (16, 16)
+        assert offsets["identification"] == (32, 16)
+        assert offsets["flags"] == (48, 3)
+        assert offsets["fragment_offset"] == (51, 13)
+        assert offsets["ttl"] == (64, 8)
+        assert offsets["protocol"] == (72, 8)
+        assert offsets["header_checksum"] == (80, 16)
+        assert offsets["source"] == (96, 32)
+        assert offsets["destination"] == (128, 32)
+        assert offsets["options"] == (160, -1)
+
+
+class TestGeneralRendering:
+    def test_title_appended(self):
+        spec = PacketSpec("T", fields=[UInt("a", bits=32)])
+        diagram = render_header_diagram(spec, title="Figure 1. Test")
+        assert diagram.splitlines()[-1] == "Figure 1. Test"
+
+    def test_narrow_row_bits(self):
+        spec = PacketSpec("N", fields=[UInt("a", bits=8), Bytes("rest")])
+        diagram = render_header_diagram(spec, row_bits=8)
+        assert "+-+-+-+-+-+-+-+-+" in diagram
+
+    def test_long_labels_truncated_not_overflowing(self):
+        spec = PacketSpec(
+            "L",
+            fields=[
+                UInt("x", bits=4, doc="An Extremely Long Field Label Overflowing"),
+                UInt("y", bits=28),
+            ],
+        )
+        diagram = render_header_diagram(spec)
+        for line in diagram.splitlines():
+            if line.startswith("|"):
+                assert len(line) == 65  # 2*32 + 1
+
+    def test_multi_row_field_renders_spanning_rows(self):
+        spec = PacketSpec("Wide", fields=[Bytes("key", length=8)])
+        rows = normalized_rows(render_header_diagram(spec))
+        assert rows[0] == ["key"]
+        assert rows[1] == [""]
+
+    def test_misaligned_wide_field_rejected(self):
+        spec = PacketSpec(
+            "Bad", fields=[UInt("a", bits=16), UInt("b", bits=24), UInt("c", bits=24)]
+        )
+        with pytest.raises(RenderError, match="does not fit"):
+            render_header_diagram(spec)
+
+    def test_partial_final_row_is_closed(self):
+        spec = PacketSpec("P", fields=[UInt("a", bits=8), UInt("b", bits=8)])
+        diagram = render_header_diagram(spec)
+        assert diagram.splitlines()[-1] == "+" + "-+" * 16

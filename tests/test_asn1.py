@@ -1,0 +1,191 @@
+"""Mini-ASN.1: abstract syntax validation and both encoding rule sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asn1 import (
+    Asn1Error,
+    Boolean,
+    Choice,
+    Enumerated,
+    IA5String,
+    Integer,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    der_decode,
+    der_encode,
+    per_decode,
+    per_encode,
+)
+
+MESSAGE = Sequence(
+    [
+        ("version", Integer(0, 7)),
+        ("urgent", Boolean()),
+        ("kind", Enumerated({"data": 0, "ack": 1, "nak": 2})),
+        ("payload", OctetString()),
+        ("tags", SequenceOf(Integer(0, 255))),
+        ("route", Choice([("name", IA5String()), ("id", Integer())])),
+    ]
+)
+
+VALUE = {
+    "version": 4,
+    "urgent": True,
+    "kind": "ack",
+    "payload": b"hello world",
+    "tags": [1, 2, 250],
+    "route": ("name", "relay-7"),
+}
+
+
+class TestValidation:
+    def test_integer_constraints(self):
+        Integer(0, 7).validate(5)
+        with pytest.raises(Asn1Error):
+            Integer(0, 7).validate(8)
+        with pytest.raises(Asn1Error):
+            Integer(0, 7).validate(True)  # bool is not INTEGER
+
+    def test_inverted_constraint_rejected(self):
+        with pytest.raises(Asn1Error):
+            Integer(7, 0)
+
+    def test_sequence_field_exactness(self):
+        schema = Sequence([("a", Integer()), ("b", Boolean())])
+        schema.validate({"a": 1, "b": True})
+        with pytest.raises(Asn1Error, match="mismatch"):
+            schema.validate({"a": 1})
+        with pytest.raises(Asn1Error, match="mismatch"):
+            schema.validate({"a": 1, "b": True, "c": 2})
+
+    def test_choice_alternative_names(self):
+        schema = Choice([("x", Integer()), ("y", Boolean())])
+        schema.validate(("x", 1))
+        with pytest.raises(Asn1Error, match="no alternative"):
+            schema.validate(("z", 1))
+
+    def test_ia5_must_be_ascii(self):
+        with pytest.raises(Asn1Error, match="ASCII"):
+            IA5String().validate("héllo")
+
+    def test_octet_string_size_constraints(self):
+        schema = OctetString(min_size=2, max_size=4)
+        schema.validate(b"abc")
+        with pytest.raises(Asn1Error):
+            schema.validate(b"a")
+        with pytest.raises(Asn1Error):
+            schema.validate(b"abcde")
+
+    def test_enumerated_distinct_values(self):
+        with pytest.raises(Asn1Error, match="distinct"):
+            Enumerated({"a": 1, "b": 1})
+
+
+class TestDer:
+    def test_round_trip(self):
+        assert der_decode(MESSAGE, der_encode(MESSAGE, VALUE)) == VALUE
+
+    def test_known_small_encodings(self):
+        assert der_encode(Boolean(), True) == b"\x01\x01\xff"
+        assert der_encode(Boolean(), False) == b"\x01\x01\x00"
+        assert der_encode(Integer(), 0) == b"\x02\x01\x00"
+        assert der_encode(Integer(), 127) == b"\x02\x01\x7f"
+        assert der_encode(Integer(), 128) == b"\x02\x02\x00\x80"
+        assert der_encode(Integer(), -128) == b"\x02\x01\x80"
+
+    def test_long_form_length(self):
+        data = b"\x00" * 200
+        encoded = der_encode(OctetString(), data)
+        assert encoded[:3] == b"\x04\x81\xc8"
+        assert der_decode(OctetString(), encoded) == data
+
+    def test_trailing_data_rejected(self):
+        with pytest.raises(Asn1Error, match="trailing"):
+            der_decode(Boolean(), b"\x01\x01\xff\x00")
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(Asn1Error, match="expected tag"):
+            der_decode(Integer(), b"\x04\x01\x00")
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(Asn1Error, match="truncated"):
+            der_decode(OctetString(), b"\x04\x05abc")
+
+
+class TestPer:
+    def test_round_trip(self):
+        assert per_decode(MESSAGE, per_encode(MESSAGE, VALUE)) == VALUE
+
+    def test_constrained_integer_packs_to_bits(self):
+        # A (0,7) integer needs 3 bits; alone it packs into one byte.
+        assert len(per_encode(Integer(0, 7), 5)) == 1
+
+    def test_single_valued_constraint_takes_zero_bits(self):
+        schema = Sequence([("fixed", Integer(3, 3)), ("flag", Boolean())])
+        encoded = per_encode(schema, {"fixed": 3, "flag": True})
+        assert len(encoded) == 1
+        assert per_decode(schema, encoded) == {"fixed": 3, "flag": True}
+
+    def test_unconstrained_integer_round_trips(self):
+        for value in (0, 1, -1, 127, 128, -129, 2**40, -(2**40)):
+            assert per_decode(Integer(), per_encode(Integer(), value)) == value
+
+
+class TestEncodingRulesDiffer:
+    """The paper §2.1: same abstract value, different wire packets."""
+
+    def test_encodings_differ(self):
+        assert der_encode(MESSAGE, VALUE) != per_encode(MESSAGE, VALUE)
+
+    def test_per_is_smaller(self):
+        assert len(per_encode(MESSAGE, VALUE)) < len(der_encode(MESSAGE, VALUE))
+
+    def test_both_decode_to_the_same_abstract_value(self):
+        assert der_decode(MESSAGE, der_encode(MESSAGE, VALUE)) == per_decode(
+            MESSAGE, per_encode(MESSAGE, VALUE)
+        )
+
+    def test_cross_decoding_fails_or_differs(self):
+        """PER bytes are meaningless under DER rules."""
+        packed = per_encode(MESSAGE, VALUE)
+        with pytest.raises(Asn1Error):
+            der_decode(MESSAGE, packed)
+
+
+@st.composite
+def message_values(draw):
+    return {
+        "version": draw(st.integers(0, 7)),
+        "urgent": draw(st.booleans()),
+        "kind": draw(st.sampled_from(["data", "ack", "nak"])),
+        "payload": draw(st.binary(max_size=64)),
+        "tags": draw(st.lists(st.integers(0, 255), max_size=10)),
+        "route": draw(
+            st.one_of(
+                st.tuples(
+                    st.just("name"),
+                    st.text(
+                        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                        max_size=20,
+                    ),
+                ),
+                st.tuples(st.just("id"), st.integers(-(2**31), 2**31)),
+            )
+        ),
+    }
+
+
+class TestProperties:
+    @given(message_values())
+    def test_der_round_trip_property(self, value):
+        assert der_decode(MESSAGE, der_encode(MESSAGE, value)) == value
+
+    @given(message_values())
+    def test_per_round_trip_property(self, value):
+        assert per_decode(MESSAGE, per_encode(MESSAGE, value)) == value
+
+    @given(message_values())
+    def test_per_never_larger_on_this_schema(self, value):
+        assert len(per_encode(MESSAGE, value)) <= len(der_encode(MESSAGE, value))

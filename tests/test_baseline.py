@@ -1,0 +1,113 @@
+"""The hand-coded baseline: wire compatibility, bugs, fault behaviour."""
+
+import pytest
+
+from repro.baseline.sockets_arq import (
+    ERR_BAD_CHECKSUM,
+    ERR_BAD_LENGTH,
+    ERR_OK,
+    ERR_TOO_SHORT,
+    KNOWN_BUGS,
+    pack_ack,
+    pack_data,
+    run_baseline_transfer,
+    unpack_ack,
+    unpack_data,
+)
+from repro.netsim.channel import ChannelConfig
+from repro.protocols.arq import ACK_PACKET, ARQ_PACKET
+
+MESSAGES = [f"msg-{i:03d}".encode() for i in range(30)]
+FAULTY = ChannelConfig(loss_rate=0.15, corruption_rate=0.12, duplication_rate=0.08)
+
+
+class TestManualPacking:
+    def test_pack_unpack_round_trip(self):
+        frame = pack_data(7, b"hello")
+        err, seq, payload = unpack_data(frame)
+        assert (err, seq, payload) == (ERR_OK, 7, b"hello")
+
+    def test_corruption_detected(self):
+        frame = bytearray(pack_data(7, b"hello"))
+        frame[4] ^= 0xFF
+        err, _, _ = unpack_data(bytes(frame))
+        assert err == ERR_BAD_CHECKSUM
+
+    def test_truncation_detected(self):
+        assert unpack_data(b"\x01")[0] == ERR_TOO_SHORT
+        frame = pack_data(7, b"hello")
+        assert unpack_data(frame[:-1])[0] == ERR_BAD_LENGTH
+
+    def test_ack_round_trip(self):
+        err, seq = unpack_ack(pack_ack(9))
+        assert (err, seq) == (ERR_OK, 9)
+
+    def test_wire_compatible_with_dsl_specs(self):
+        """The baseline and the DSL speak the same bytes — the comparison
+        is apples to apples."""
+        dsl = ARQ_PACKET.encode(ARQ_PACKET.make(seq=7, length=5, payload=b"hello"))
+        assert pack_data(7, b"hello") == dsl
+        dsl_ack = ACK_PACKET.encode(ACK_PACKET.make(seq=9))
+        assert pack_ack(9) == dsl_ack
+
+
+class TestCleanBaseline:
+    def test_clean_channel_succeeds(self):
+        report = run_baseline_transfer(MESSAGES)
+        assert report.success
+        assert report.violations == []
+
+    def test_faulty_channel_succeeds_when_bug_free(self):
+        report = run_baseline_transfer(MESSAGES, FAULTY, seed=4)
+        assert report.success
+        assert report.violations == []
+
+
+class TestSeededBugs:
+    def test_unknown_bug_rejected(self):
+        from repro.netsim import Node, Simulator
+        from repro.baseline.sockets_arq import SocketsStyleSender
+
+        sim = Simulator()
+        with pytest.raises(ValueError, match="unknown bug"):
+            SocketsStyleSender(sim, Node(sim, "s"), "r", [], bug="typo")
+
+    def test_skip_checksum_lets_corruption_through(self):
+        report = run_baseline_transfer(
+            MESSAGES, FAULTY, seed=4, receiver_bug="skip_checksum"
+        )
+        assert report.violations  # corrupted payloads reached the app
+
+    def test_bad_dup_check_delivers_duplicates(self):
+        report = run_baseline_transfer(
+            MESSAGES, FAULTY, seed=4, receiver_bug="bad_dup_check"
+        )
+        assert len(report.delivered) > len(MESSAGES) or report.violations
+
+    def test_accept_any_ack_loses_messages(self):
+        report = run_baseline_transfer(
+            MESSAGES, FAULTY, seed=4, sender_bug="accept_any_ack"
+        )
+        assert not report.success
+
+    def test_forget_timer_hangs(self):
+        report = run_baseline_transfer(
+            MESSAGES,
+            ChannelConfig(loss_rate=0.4),
+            seed=4,
+            sender_bug="forget_timer",
+            max_events=200_000,
+        )
+        assert not report.success  # the transfer silently stalls
+
+    def test_bugs_are_silent_on_a_clean_channel(self):
+        """The insidious part: every bug passes a clean-network test."""
+        for bug in KNOWN_BUGS:
+            kwargs = (
+                {"sender_bug": bug}
+                if bug in ("accept_any_ack", "forget_timer")
+                else {"receiver_bug": bug}
+            )
+            report = run_baseline_transfer(MESSAGES, ChannelConfig(), **kwargs)
+            assert report.success, f"bug {bug} should hide on a clean channel"
+            assert report.violations == []

@@ -1,0 +1,215 @@
+"""The definition-time checker: every soundness/completeness rule.
+
+Each test builds a machine that is wrong in exactly one way and asserts
+the checker pinpoints it — the mutation corpus behind experiment E12.
+"""
+
+import pytest
+
+from repro.core.checker import check_machine
+from repro.core.fields import UInt
+from repro.core.packet import PacketSpec
+from repro.core.statemachine import MachineSpec, Param, Var
+
+
+def well_formed():
+    """The paper's sender shape, known-good."""
+    spec = MachineSpec("sender")
+    seq = Param("seq", bits=8)
+    ready = spec.state("Ready", params=[seq], initial=True)
+    wait = spec.state("Wait", params=[seq])
+    sent = spec.state("Sent", params=[seq], final=True)
+    n = Var("seq")
+    spec.transition("SEND", ready(n), wait(n), requires="bytes")
+    spec.transition("OK", wait(n), ready(n + 1))
+    spec.transition("FINISH", ready(n), sent(n))
+    return spec
+
+
+class TestSoundness:
+    def test_well_formed_machine_passes(self):
+        report = check_machine(well_formed())
+        assert report.ok
+        assert report.errors == []
+
+    def test_no_initial_state(self):
+        spec = MachineSpec("m")
+        a = spec.state("A", final=True)
+        report = check_machine(spec)
+        assert any("no initial state" in e for e in report.errors)
+
+    def test_multiple_initial_states(self):
+        spec = MachineSpec("m")
+        spec.state("A", initial=True, final=True)
+        spec.state("B", initial=True, final=True)
+        report = check_machine(spec)
+        assert any("multiple initial states" in e for e in report.errors)
+
+    def test_foreign_state_in_transition(self):
+        spec = MachineSpec("m")
+        a = spec.state("A", initial=True)
+        other = MachineSpec("other")
+        foreign = other.state("B", final=True)
+        spec.transition("T", a(), foreign())
+        report = check_machine(spec)
+        assert any("not declared" in e for e in report.errors)
+
+    def test_target_with_unbound_variable(self):
+        spec = MachineSpec("m")
+        seq = Param("seq", bits=8)
+        a = spec.state("A", params=[seq], initial=True)
+        b = spec.state("B", params=[seq], final=True)
+        spec.transition("T", a(Var("n")), b(Var("m")))
+        report = check_machine(spec)
+        assert any("inputs bind" in e for e in report.errors)
+
+    def test_inputs_legitimize_target_variables(self):
+        spec = MachineSpec("m")
+        seq = Param("seq", bits=8)
+        a = spec.state("A", params=[seq], initial=True)
+        b = spec.state("B", params=[seq], final=True)
+        spec.transition("T", a(Var("n")), b(Var("m")), inputs=("m",))
+        assert check_machine(spec).ok
+
+    def test_inputs_shadowing_source_vars_rejected(self):
+        spec = MachineSpec("m")
+        seq = Param("seq", bits=8)
+        a = spec.state("A", params=[seq], initial=True)
+        b = spec.state("B", params=[seq], final=True)
+        spec.transition("T", a(Var("n")), b(Var("n")), inputs=("n",))
+        report = check_machine(spec)
+        assert any("shadow" in e for e in report.errors)
+
+    def test_uninvertible_source_pattern(self):
+        spec = MachineSpec("m")
+        pair = [Param("a", bits=4), Param("b", bits=4)]
+        s = spec.state("S", params=pair, initial=True)
+        f = spec.state("F", params=[Param("a", bits=4)], final=True)
+        spec.transition("T", s(Var("x") + Var("y"), 0), f(Var("x")))
+        report = check_machine(spec)
+        assert any("invertible" in e for e in report.errors)
+
+    def test_symbolic_guard_with_unknown_variable(self):
+        spec = MachineSpec("m")
+        seq = Param("seq", bits=8)
+        a = spec.state("A", params=[seq], initial=True)
+        b = spec.state("B", params=[seq], final=True)
+        spec.transition("T", a(Var("n")), b(Var("n")), guard=Var("ghost") > 0)
+        report = check_machine(spec)
+        assert any("guard references" in e for e in report.errors)
+
+    def test_bad_requires_object(self):
+        spec = MachineSpec("m")
+        a = spec.state("A", initial=True)
+        b = spec.state("B", final=True)
+        spec.transition("T", a(), b(), requires=42)
+        report = check_machine(spec)
+        assert any("requires must be" in e for e in report.errors)
+
+    def test_packet_spec_accepted_as_requires(self):
+        packet = PacketSpec("P", fields=[UInt("x", bits=8)])
+        spec = MachineSpec("m")
+        a = spec.state("A", initial=True)
+        b = spec.state("B", final=True)
+        spec.transition("T", a(), b(), requires=packet)
+        assert check_machine(spec).ok
+
+    def test_final_state_with_outgoing_transition(self):
+        spec = MachineSpec("m")
+        a = spec.state("A", initial=True)
+        f = spec.state("F", final=True)
+        spec.transition("GO", a(), f())
+        spec.transition("ESCAPE", f(), a())
+        report = check_machine(spec)
+        assert any("must be terminal" in e for e in report.errors)
+
+
+class TestCompleteness:
+    def test_unreachable_state_detected(self):
+        spec = MachineSpec("m")
+        a = spec.state("A", initial=True)
+        f = spec.state("F", final=True)
+        spec.state("Island", final=True)
+        spec.transition("GO", a(), f())
+        report = check_machine(spec)
+        assert any("unreachable" in e for e in report.errors)
+
+    def test_dead_state_detected(self):
+        spec = MachineSpec("m")
+        a = spec.state("A", initial=True)
+        trap = spec.state("Trap")
+        spec.transition("GO", a(), trap())
+        report = check_machine(spec)
+        assert any("deadlock" in e for e in report.errors)
+
+    def test_missing_event_handler_detected(self):
+        spec = MachineSpec("m")
+        seq = Param("seq", bits=8)
+        wait = spec.state("Wait", params=[seq], initial=True)
+        done = spec.state("Done", params=[seq], final=True)
+        n = Var("seq")
+        spec.transition("OK", wait(n), done(n), event="good_ack")
+        spec.expect_events(wait, ["good_ack", "timer"])
+        report = check_machine(spec)
+        assert any(
+            "does not handle declared event" in e and "timer" in e
+            for e in report.errors
+        )
+
+    def test_complete_event_coverage_passes(self):
+        spec = MachineSpec("m")
+        seq = Param("seq", bits=8)
+        wait = spec.state("Wait", params=[seq], initial=True)
+        done = spec.state("Done", params=[seq], final=True)
+        n = Var("seq")
+        spec.transition("OK", wait(n), done(n), event="good_ack")
+        spec.transition("TICK", wait(n), wait(n), event="timer")
+        spec.expect_events(wait, ["good_ack", "timer"])
+        assert check_machine(spec).ok
+
+    def test_undeclared_handled_event_is_warning_not_error(self):
+        spec = MachineSpec("m")
+        wait = spec.state("Wait", initial=True)
+        done = spec.state("Done", final=True)
+        spec.transition("OK", wait(), done(), event="good_ack")
+        spec.transition("EXTRA", wait(), done(), event="mystery")
+        spec.expect_events(wait, ["good_ack", "mystery"])
+        assert check_machine(spec).ok
+        spec2 = MachineSpec("m2")
+        wait2 = spec2.state("Wait", initial=True)
+        done2 = spec2.state("Done", final=True)
+        spec2.transition("OK", wait2(), done2(), event="good_ack")
+        spec2.transition("EXTRA", wait2(), done2(), event="mystery")
+        spec2.expect_events(wait2, ["good_ack"])
+        report = check_machine(spec2)
+        assert report.ok
+        assert any("mystery" in w for w in report.warnings)
+
+
+class TestRealProtocolSpecs:
+    def test_paper_arq_sender_checks_clean(self):
+        from repro.protocols.arq import build_sender_spec
+
+        report = check_machine(build_sender_spec())
+        assert report.ok
+
+    def test_paper_arq_receiver_checks_clean(self):
+        from repro.protocols.arq import build_receiver_spec
+
+        report = check_machine(build_receiver_spec())
+        assert report.ok
+
+    def test_gbn_sender_checks_clean(self):
+        from repro.protocols.sliding import build_gbn_sender_spec
+
+        report = check_machine(build_gbn_sender_spec(window=4))
+        assert report.ok
+
+    def test_handshake_machines_check_clean(self):
+        from repro.protocols.handshake import (
+            build_initiator_spec,
+            build_responder_spec,
+        )
+
+        assert check_machine(build_initiator_spec()).ok
+        assert check_machine(build_responder_spec()).ok

@@ -1,0 +1,191 @@
+"""Codec engine: round trips, checksum computation, decode errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codec import DecodeError, ExtraDataError
+from repro.core.fields import (
+    Bytes,
+    ChecksumField,
+    Flag,
+    Reserved,
+    Struct,
+    Switch,
+    UInt,
+    UIntList,
+)
+from repro.core.packet import PacketSpec
+from repro.core.symbolic import this
+
+ARQ = PacketSpec(
+    "Arq",
+    fields=[
+        UInt("seq", bits=8),
+        ChecksumField("chk", algorithm="xor8", over=("seq", "length", "payload")),
+        UInt("length", bits=8),
+        Bytes("payload", length=this.length),
+    ],
+)
+
+BITPACKED = PacketSpec(
+    "BitPacked",
+    fields=[
+        UInt("version", bits=4),
+        UInt("ihl", bits=4),
+        Flag("urgent"),
+        Reserved("pad", bits=7),
+        UInt("count", bits=16),
+        UIntList("items", element_bits=8, count=this.count),
+    ],
+)
+
+
+class TestVerbatimRoundTrip:
+    def test_arq_round_trip(self):
+        packet = ARQ.make(seq=9, length=5, payload=b"hello")
+        assert ARQ.decode(ARQ.encode(packet)) == packet
+
+    def test_round_trip_preserves_invalid_checksums(self):
+        packet = ARQ.make(seq=9, length=5, payload=b"hello").replace(chk=0)
+        wire = ARQ.encode(packet)
+        assert ARQ.decode(wire) == packet  # verbatim, bit-exact
+
+    def test_bitpacked_round_trip(self):
+        packet = BITPACKED.make(
+            version=4, ihl=5, urgent=True, count=3, items=[1, 2, 3]
+        )
+        decoded = BITPACKED.decode(BITPACKED.encode(packet))
+        assert decoded.version == 4
+        assert decoded.urgent is True
+        assert decoded.items == (1, 2, 3)
+
+    @given(
+        seq=st.integers(0, 255),
+        payload=st.binary(max_size=255),
+    )
+    def test_arq_round_trip_property(self, seq, payload):
+        packet = ARQ.make(seq=seq, length=len(payload), payload=payload)
+        assert ARQ.decode(ARQ.encode(packet)) == packet
+
+    @given(st.lists(st.integers(0, 255), max_size=40), st.booleans())
+    def test_bitpacked_round_trip_property(self, items, urgent):
+        packet = BITPACKED.make(
+            version=1, ihl=15, urgent=urgent, count=len(items), items=items
+        )
+        decoded = BITPACKED.decode(BITPACKED.encode(packet))
+        assert decoded == packet
+
+
+class TestChecksumComputation:
+    def test_make_computes_checksum(self):
+        packet = ARQ.make(seq=3, length=5, payload=b"hello")
+        expected = 3 ^ 5
+        for byte in b"hello":
+            expected ^= byte
+        assert packet.chk == expected
+
+    def test_compute_checksum_matches_carried_value(self):
+        packet = ARQ.make(seq=3, length=5, payload=b"hello")
+        assert ARQ.compute_checksum(packet, "chk") == packet.chk
+
+    def test_compute_checksum_detects_mismatch_after_tamper(self):
+        packet = ARQ.make(seq=3, length=5, payload=b"hello")
+        tampered = packet.replace(payload=b"jello")
+        assert ARQ.compute_checksum(tampered, "chk") != tampered.chk
+
+    def test_whole_packet_checksum_self_zeroed(self):
+        # The RFC 1071 verification identity requires the checksum to sit
+        # at an even (16-bit-word-aligned) offset, as it does in real
+        # headers; a 5-byte packet would also break the identity via
+        # padding, so the layout is an even 6 bytes.
+        spec = PacketSpec(
+            "WholePkt",
+            fields=[
+                UInt("a", bits=8),
+                UInt("b", bits=8),
+                ChecksumField("chk", algorithm="internet", over="*"),
+                UInt("c", bits=8),
+                Reserved("pad", bits=8),
+            ],
+        )
+        packet = spec.make(a=0x12, b=0x34, c=0x56)
+        wire = spec.encode(packet)
+        # RFC 1071 verification: summing the full packet yields zero.
+        from repro.wire.checksums import internet_checksum
+
+        assert internet_checksum(wire) == 0
+
+
+class TestDecodeErrors:
+    def test_truncated_packet(self):
+        with pytest.raises(DecodeError):
+            ARQ.decode(b"\x01")
+
+    def test_trailing_bytes_rejected(self):
+        packet = ARQ.make(seq=1, length=2, payload=b"ab")
+        with pytest.raises(ExtraDataError):
+            ARQ.decode(ARQ.encode(packet) + b"\x00")
+
+    def test_payload_shorter_than_declared(self):
+        packet = ARQ.make(seq=1, length=2, payload=b"ab")
+        with pytest.raises(DecodeError):
+            ARQ.decode(ARQ.encode(packet)[:-1])
+
+    def test_wrong_spec_for_encode(self):
+        packet = ARQ.make(seq=1, length=0, payload=b"")
+        with pytest.raises(Exception, match="cannot encode"):
+            BITPACKED.encode(packet)
+
+
+class TestNestedStructures:
+    def test_struct_round_trip(self):
+        inner = PacketSpec(
+            "Inner", fields=[UInt("x", bits=8), UInt("y", bits=8)]
+        )
+        outer = PacketSpec(
+            "Outer",
+            fields=[UInt("tag", bits=8), Struct("pair", inner)],
+        )
+        packet = outer.make(tag=1, pair=inner.make(x=2, y=3))
+        decoded = outer.decode(outer.encode(packet))
+        assert decoded.pair.x == 2 and decoded.pair.y == 3
+
+    def test_switch_selects_branch(self):
+        ping = PacketSpec("Ping", fields=[UInt("token", bits=16)])
+        data = PacketSpec("Data", fields=[Bytes("body")])
+        message = PacketSpec(
+            "Message",
+            fields=[
+                UInt("kind", bits=8),
+                Switch("content", on=this.kind, cases={0: ping, 1: data}),
+            ],
+        )
+        p = message.make(kind=0, content=ping.make(token=7))
+        assert message.decode(message.encode(p)).content.token == 7
+        d = message.make(kind=1, content=data.make(body=b"xyz"))
+        assert message.decode(message.encode(d)).content.body == b"xyz"
+
+    def test_switch_unknown_discriminator(self):
+        ping = PacketSpec("Ping2", fields=[UInt("token", bits=16)])
+        message = PacketSpec(
+            "Message2",
+            fields=[
+                UInt("kind", bits=8),
+                Switch("content", on=this.kind, cases={0: ping}),
+            ],
+        )
+        with pytest.raises(Exception, match="no case"):
+            message.decode(b"\x09\x00\x07")
+
+    def test_switch_wrong_branch_value_rejected(self):
+        ping = PacketSpec("Ping3", fields=[UInt("token", bits=16)])
+        pong = PacketSpec("Pong3", fields=[UInt("token", bits=16)])
+        message = PacketSpec(
+            "Message3",
+            fields=[
+                UInt("kind", bits=8),
+                Switch("content", on=this.kind, cases={0: ping, 1: pong}),
+            ],
+        )
+        with pytest.raises(Exception, match="expected a"):
+            message.make(kind=0, content=pong.make(token=1))

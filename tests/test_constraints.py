@@ -1,0 +1,77 @@
+"""Semantic constraints: symbolic and callable predicates."""
+
+import pytest
+
+from repro.core.constraints import Constraint, ConstraintViolation
+from repro.core.fields import Bytes, UInt
+from repro.core.packet import PacketSpec, VerificationError
+from repro.core.symbolic import this
+
+
+def spec_with(constraints):
+    return PacketSpec(
+        "C",
+        fields=[UInt("count", bits=8), UInt("limit", bits=8), Bytes("body")],
+        constraints=constraints,
+    )
+
+
+class TestConstraintObjects:
+    def test_symbolic_predicate(self):
+        constraint = Constraint("within_limit", this.count <= this.limit)
+        assert constraint.is_symbolic
+        spec = spec_with([constraint])
+        good = spec.make(count=3, limit=5, body=b"")
+        assert constraint.holds(good)
+        bad = spec.make(count=9, limit=5, body=b"")
+        assert not constraint.holds(bad)
+
+    def test_callable_predicate(self):
+        constraint = Constraint(
+            "body_matches_count", lambda p: len(p.body) == p.count
+        )
+        assert not constraint.is_symbolic
+        spec = spec_with([constraint])
+        assert constraint.holds(spec.make(count=2, limit=9, body=b"ab"))
+        assert not constraint.holds(spec.make(count=3, limit=9, body=b"ab"))
+
+    def test_check_raises_with_context(self):
+        constraint = Constraint("never", lambda p: False, doc="always fails")
+        spec = spec_with([constraint])
+        with pytest.raises(ConstraintViolation) as excinfo:
+            constraint.check(spec.make(count=0, limit=0, body=b""))
+        assert excinfo.value.constraint_name == "never"
+        assert "always fails" in str(excinfo.value)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="identifier"):
+            Constraint("bad name", lambda p: True)
+
+
+class TestVerificationIntegration:
+    def test_all_violations_reported_together(self):
+        spec = spec_with(
+            [
+                Constraint("within_limit", this.count <= this.limit),
+                Constraint("body_matches_count", lambda p: len(p.body) == p.count),
+            ]
+        )
+        bad = spec.make(count=9, limit=5, body=b"xx")
+        with pytest.raises(VerificationError) as excinfo:
+            spec.verify(bad)
+        names = {v.constraint_name for v in excinfo.value.violations}
+        assert names == {"within_limit", "body_matches_count"}
+
+    def test_certificate_names_user_constraints(self):
+        spec = spec_with([Constraint("within_limit", this.count <= this.limit)])
+        verified = spec.verify(spec.make(count=1, limit=5, body=b"x"))
+        assert verified.certificate.certifies("within_limit")
+
+    def test_shape_violations_reported_as_constraints(self):
+        spec = spec_with([])
+        bad = spec.make(count=1, limit=1, body=b"").replace(count=999)
+        with pytest.raises(VerificationError) as excinfo:
+            spec.verify(bad)
+        assert any(
+            "shape" in v.constraint_name for v in excinfo.value.violations
+        )

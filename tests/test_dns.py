@@ -1,0 +1,99 @@
+"""The DNS header spec: bit-exact layout and RFC 1035 semantics."""
+
+import pytest
+
+from repro.core.packet import VerificationError
+from repro.protocols.dns import (
+    DNS_HEADER,
+    DNS_QUESTION_FIXED,
+    make_query_header,
+    make_response_header,
+)
+
+
+class TestWireFormat:
+    def test_standard_query_reference_bytes(self):
+        """A recursive standard query is the classic 0100 flags word."""
+        verified = make_query_header(0x1234)
+        assert DNS_HEADER.encode(verified.value) == bytes.fromhex(
+            "123401000001000000000000"
+        )
+
+    def test_authoritative_response_reference_bytes(self):
+        verified = make_response_header(0x1234, answers=2, authoritative=True)
+        assert DNS_HEADER.encode(verified.value) == bytes.fromhex(
+            "123485800001000200000000"
+        )
+
+    def test_flags_word_bit_positions(self):
+        packet = DNS_HEADER.make(
+            id=0, qr=True, opcode=2, aa=False, tc=True, rd=False, ra=True,
+            rcode=3, qdcount=0, ancount=0, nscount=0, arcount=0,
+        )
+        wire = DNS_HEADER.encode(packet)
+        # QR=1 opcode=0010 AA=0 TC=1 RD=0 -> 1001 0010 ; RA=1 Z=000 RCODE=0011
+        assert wire[2] == 0b10010010
+        assert wire[3] == 0b10000011
+
+    def test_round_trip(self):
+        verified = make_response_header(0xBEEF, answers=1)
+        wire = DNS_HEADER.encode(verified.value)
+        assert DNS_HEADER.parse(wire).value == verified.value
+
+    def test_header_is_twelve_bytes(self):
+        assert DNS_HEADER.fixed_bit_width() == 96
+
+
+class TestSemantics:
+    def test_aa_in_query_rejected(self):
+        packet = DNS_HEADER.make(
+            id=1, qr=False, opcode=0, aa=True, tc=False, rd=True, ra=False,
+            rcode=0, qdcount=1, ancount=0, nscount=0, arcount=0,
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            DNS_HEADER.verify(packet)
+        names = {v.constraint_name for v in excinfo.value.violations}
+        assert "aa_only_in_responses" in names
+
+    def test_rcode_in_query_rejected(self):
+        packet = DNS_HEADER.make(
+            id=1, qr=False, opcode=0, aa=False, tc=False, rd=True, ra=False,
+            rcode=3, qdcount=1, ancount=0, nscount=0, arcount=0,
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            DNS_HEADER.verify(packet)
+        names = {v.constraint_name for v in excinfo.value.violations}
+        assert "rcode_zero_in_queries" in names
+
+    def test_answers_in_query_rejected(self):
+        packet = DNS_HEADER.make(
+            id=1, qr=False, opcode=0, aa=False, tc=False, rd=True, ra=False,
+            rcode=0, qdcount=1, ancount=2, nscount=0, arcount=0,
+        )
+        with pytest.raises(VerificationError):
+            DNS_HEADER.verify(packet)
+
+    def test_unknown_opcode_rejected(self):
+        packet = DNS_HEADER.make(
+            id=1, qr=True, opcode=0, aa=False, tc=False, rd=False, ra=False,
+            rcode=0, qdcount=0, ancount=0, nscount=0, arcount=0,
+        ).replace(opcode=9)
+        with pytest.raises(VerificationError):
+            DNS_HEADER.verify(packet)
+
+    def test_nonzero_z_bits_rejected(self):
+        verified = make_query_header(7)
+        wire = bytearray(DNS_HEADER.encode(verified.value))
+        wire[3] |= 0b01000000  # set a Z bit
+        assert DNS_HEADER.try_parse(bytes(wire)) is None
+
+
+class TestQuestionFixed:
+    def test_a_record_question(self):
+        packet = DNS_QUESTION_FIXED.make(qtype=1, qclass=1)
+        assert DNS_QUESTION_FIXED.encode(packet) == b"\x00\x01\x00\x01"
+
+    def test_unknown_qtype_rejected(self):
+        packet = DNS_QUESTION_FIXED.make(qtype=1, qclass=1).replace(qtype=99)
+        with pytest.raises(VerificationError):
+            DNS_QUESTION_FIXED.verify(packet)

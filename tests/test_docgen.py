@@ -1,0 +1,106 @@
+"""Generated documentation: Markdown references and DOT diagrams."""
+
+from repro.core.docgen import (
+    document_machine_spec,
+    document_packet_spec,
+    machine_to_dot,
+)
+from repro.core.fields import Bytes, ChecksumField, Switch, UInt
+from repro.core.packet import PacketSpec
+from repro.core.statemachine import MachineSpec
+from repro.core.symbolic import this
+from repro.protocols.arq import ARQ_PACKET, build_sender_spec
+from repro.protocols.headers import IPV4_HEADER
+
+
+class TestPacketDocs:
+    def test_lists_every_field(self):
+        text = document_packet_spec(IPV4_HEADER)
+        for name in IPV4_HEADER.field_names:
+            assert f"`{name}`" in text
+
+    def test_includes_diagram(self):
+        text = document_packet_spec(IPV4_HEADER)
+        assert "+-+-" in text
+        assert "Version" in text
+
+    def test_lists_constraints(self):
+        text = document_packet_spec(IPV4_HEADER)
+        assert "header_checksum_valid" in text
+        assert "ihl_at_least_5" in text
+
+    def test_checksum_field_describes_cover(self):
+        text = document_packet_spec(ARQ_PACKET)
+        assert "xor8 over seq, length, payload" in text
+
+    def test_dependent_length_shown(self):
+        text = document_packet_spec(ARQ_PACKET)
+        assert "bytes[this.length]" in text
+
+    def test_irregular_layout_omits_diagram_gracefully(self):
+        spec = PacketSpec(
+            "Odd",
+            fields=[UInt("a", bits=16), UInt("b", bits=24), UInt("c", bits=24)],
+        )
+        text = document_packet_spec(spec)
+        assert "| `a` |" in text  # the table is still there
+
+    def test_switch_field_documented(self):
+        ping = PacketSpec("PingDoc", fields=[UInt("x", bits=8)])
+        spec = PacketSpec(
+            "SwitchDoc",
+            fields=[
+                UInt("kind", bits=8),
+                Switch("body", on=this.kind, cases={0: ping}),
+            ],
+        )
+        text = document_packet_spec(spec, include_diagram=False)
+        assert "switch on this.kind" in text
+        assert "0 -> PingDoc" in text
+
+
+class TestMachineDocs:
+    def test_states_and_markers(self):
+        text = document_machine_spec(build_sender_spec())
+        assert "`Ready(seq:8b)`" in text
+        assert "(initial)" in text
+        assert "(final)" in text
+
+    def test_transitions_table(self):
+        text = document_machine_spec(build_sender_spec())
+        assert "`OK`" in text
+        assert "Verified[ArqAck]" in text
+        assert "`Wait(seq)` → `Ready((seq + 1))`" in text
+
+    def test_completeness_declarations_shown(self):
+        text = document_machine_spec(build_sender_spec())
+        assert "Completeness declarations" in text
+        assert "'good_ack'" in text or "good_ack" in text
+
+    def test_unsealed_machines_flagged(self):
+        spec = MachineSpec("draft")
+        spec.state("A", initial=True, final=True)
+        text = document_machine_spec(spec)
+        assert "UNSEALED" in text
+
+
+class TestDot:
+    def test_valid_dot_structure(self):
+        dot = machine_to_dot(build_sender_spec())
+        assert dot.startswith('digraph "ArqSender" {')
+        assert dot.rstrip().endswith("}")
+        assert '"Ready" -> "Wait"' in dot
+
+    def test_final_state_double_circle(self):
+        dot = machine_to_dot(build_sender_spec())
+        assert '"Sent" [label="Sent(seq)", shape=doublecircle]' in dot
+
+    def test_initial_marker(self):
+        dot = machine_to_dot(build_sender_spec())
+        assert "__start" in dot
+        assert '__start -> "Ready"' in dot
+
+    def test_evidence_edges_bold(self):
+        dot = machine_to_dot(build_sender_spec())
+        assert "Verified ArqAck" in dot
+        assert "style=bold" in dot

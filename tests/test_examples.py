@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are documentation; rotting documentation is worse than none.
+Each is executed in-process with stdout captured and basic claims about
+its output asserted.
+"""
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["raw packet rejected", "finished consistently"],
+    "define_ipv4.py": ["0xB861".lower(), "Figure 1"],
+    "arq_over_lossy_net.py": ["fault sweep", "FINISH"],
+    "adaptive_streaming.py": ["fuzzy", "static"],
+    "untrusted_relay_mesh.py": ["COMPROMISED", "delivery"],
+    "verify_arq_pair.py": ["VERIFIED", "livelock"],
+    "inline_testing.py": ["all passed", "round-trip mismatch"],
+}
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs_and_says_the_right_things(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker.lower() in output.lower(), (
+            f"{name}: expected {marker!r} in output"
+        )
+
+
+def test_every_example_file_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_MARKERS), (
+        "examples and smoke tests have drifted apart"
+    )

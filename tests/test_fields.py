@@ -1,0 +1,164 @@
+"""Field primitives: shapes, encoding, decoding, dependent lengths."""
+
+import pytest
+
+from repro.core.fields import (
+    Bytes,
+    ChecksumField,
+    FieldValueError,
+    Flag,
+    Reserved,
+    UInt,
+    UIntList,
+)
+from repro.core.symbolic import Var, this
+from repro.wire.bits import BitReader, BitWriter, ByteOrder
+
+
+class TestUInt:
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            UInt("x", bits=0)
+        with pytest.raises(ValueError):
+            UInt("x", bits=65)
+
+    def test_const_must_fit(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            UInt("version", bits=4, const=16)
+
+    def test_value_range_checked(self):
+        field = UInt("x", bits=4)
+        with pytest.raises(FieldValueError, match="out of range"):
+            field.check_value(16, {})
+        with pytest.raises(FieldValueError):
+            field.check_value(-1, {})
+
+    def test_bool_rejected_as_value(self):
+        field = UInt("x", bits=8)
+        with pytest.raises(FieldValueError, match="expected int"):
+            field.check_value(True, {})
+
+    def test_encode_decode_round_trip(self):
+        field = UInt("x", bits=12)
+        writer = BitWriter()
+        field.encode(writer, 0xABC, {})
+        writer.pad_to_byte()
+        assert field.decode(BitReader(writer.getvalue()), {}) == 0xABC
+
+    def test_little_endian_needs_whole_bytes(self):
+        with pytest.raises(ValueError, match="whole bytes"):
+            UInt("x", bits=12, byteorder=ByteOrder.LITTLE)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="identifier"):
+            UInt("not a name", bits=8)
+
+
+class TestFlagAndReserved:
+    def test_flag_round_trip(self):
+        field = Flag("urgent")
+        writer = BitWriter()
+        field.encode(writer, True, {})
+        field.encode(writer, False, {})
+        writer.pad_to_byte()
+        reader = BitReader(writer.getvalue())
+        assert field.decode(reader, {}) is True
+        assert field.decode(reader, {}) is False
+
+    def test_flag_rejects_non_bool(self):
+        with pytest.raises(FieldValueError):
+            Flag("f").check_value(2, {})
+
+    def test_reserved_encodes_fixed_value(self):
+        field = Reserved("pad", bits=6)
+        writer = BitWriter()
+        field.encode(writer, None, {})
+        writer.pad_to_byte()
+        assert writer.getvalue() == b"\x00"
+
+    def test_reserved_rejects_other_values(self):
+        with pytest.raises(FieldValueError, match="reserved"):
+            Reserved("pad", bits=3).check_value(1, {})
+
+    def test_reserved_is_computed(self):
+        assert Reserved("pad", bits=3).is_computed
+
+
+class TestBytes:
+    def test_fixed_length(self):
+        field = Bytes("tag", length=4)
+        assert field.fixed_bit_width() == 32
+        with pytest.raises(FieldValueError, match="expected 4 bytes"):
+            field.check_value(b"abc", {})
+
+    def test_dependent_length_uses_environment(self):
+        field = Bytes("payload", length=this.length)
+        field.check_value(b"abc", {"length": 3})
+        with pytest.raises(FieldValueError):
+            field.check_value(b"abcd", {"length": 3})
+
+    def test_dependent_length_expression(self):
+        field = Bytes("options", length=(this.ihl - 5) * 4)
+        field.check_value(b"", {"ihl": 5})
+        field.check_value(b"\x00" * 8, {"ihl": 7})
+
+    def test_negative_computed_length_rejected(self):
+        field = Bytes("options", length=this.ihl - 5)
+        reader = BitReader(b"\x00\x00")
+        with pytest.raises(FieldValueError, match="evaluated to"):
+            field.decode(reader, {"ihl": 3})
+
+    def test_greedy_reads_remaining(self):
+        field = Bytes("rest")
+        assert field.is_greedy
+        reader = BitReader(b"abcdef")
+        reader.read_bytes(2)
+        assert field.decode(reader, {}) == b"cdef"
+
+
+class TestUIntList:
+    def test_dependent_count(self):
+        field = UIntList("samples", element_bits=16, count=this.n)
+        writer = BitWriter()
+        field.encode(writer, [1, 2, 3], {"n": 3})
+        decoded = field.decode(BitReader(writer.getvalue()), {"n": 3})
+        assert decoded == (1, 2, 3)
+
+    def test_count_mismatch_rejected(self):
+        field = UIntList("samples", element_bits=8, count=2)
+        with pytest.raises(FieldValueError, match="expected 2 elements"):
+            field.check_value([1], {})
+
+    def test_element_range_checked(self):
+        field = UIntList("nibbles", element_bits=4, count=1)
+        with pytest.raises(FieldValueError, match="does not fit"):
+            field.check_value([16], {})
+
+    def test_fixed_width_when_count_constant(self):
+        assert UIntList("x", element_bits=4, count=6).fixed_bit_width() == 24
+
+
+class TestChecksumField:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown checksum"):
+            ChecksumField("chk", algorithm="sha-zam", over=("a",))
+
+    def test_width_follows_algorithm(self):
+        assert ChecksumField("chk", algorithm="crc32", over=("a",)).bits == 32
+        assert ChecksumField("chk", algorithm="xor8", over=("a",)).bits == 8
+
+    def test_whole_packet_sentinel(self):
+        field = ChecksumField("chk", algorithm="internet", over="*")
+        assert field.covers_whole_packet
+        assert field.referenced_fields() == frozenset()
+
+    def test_bad_over_string_rejected(self):
+        with pytest.raises(ValueError, match="sentinel"):
+            ChecksumField("chk", algorithm="xor8", over="everything")
+
+    def test_empty_over_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ChecksumField("chk", algorithm="xor8", over=())
+
+    def test_is_computed(self):
+        assert ChecksumField("chk", algorithm="xor8", over=("a",)).is_computed

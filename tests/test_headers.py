@@ -1,0 +1,180 @@
+"""Classic header specs: IPv4 (Figure 1), UDP, TCP, ICMP."""
+
+import pytest
+
+from repro.core.packet import VerificationError
+from repro.protocols.headers import (
+    ICMP_ECHO,
+    IPV4_HEADER,
+    TCP_HEADER,
+    UDP_HEADER,
+    ipv4_address,
+    ipv4_address_string,
+    make_ipv4_header,
+)
+
+
+class TestAddressHelpers:
+    def test_round_trip(self):
+        for dotted in ("0.0.0.0", "192.168.0.1", "255.255.255.255", "10.1.2.3"):
+            assert ipv4_address_string(ipv4_address(dotted)) == dotted
+
+    def test_known_value(self):
+        assert ipv4_address("192.168.0.1") == 0xC0A80001
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ipv4_address("1.2.3")
+        with pytest.raises(ValueError):
+            ipv4_address("1.2.3.999")
+        with pytest.raises(ValueError):
+            ipv4_address_string(1 << 32)
+
+
+class TestIpv4:
+    def test_wikipedia_example_checksum(self):
+        """The canonical worked example: checksum must be 0xB861."""
+        packet = IPV4_HEADER.make(
+            ihl=5, tos=0, total_length=0x73, identification=0, flags=2,
+            fragment_offset=0, ttl=64, protocol=17,
+            source=ipv4_address("192.168.0.1"),
+            destination=ipv4_address("192.168.0.199"),
+            options=b"",
+        )
+        assert packet.header_checksum == 0xB861
+
+    def test_wire_bytes_match_reference(self):
+        packet = IPV4_HEADER.make(
+            ihl=5, tos=0, total_length=0x73, identification=0, flags=2,
+            fragment_offset=0, ttl=64, protocol=17,
+            source=ipv4_address("192.168.0.1"),
+            destination=ipv4_address("192.168.0.199"),
+            options=b"",
+        )
+        expected = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        assert IPV4_HEADER.encode(packet) == expected
+
+    def test_parse_reference_bytes(self):
+        wire = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        verified = IPV4_HEADER.parse(wire)
+        header = verified.value
+        assert header.version == 4
+        assert header.ttl == 64
+        assert ipv4_address_string(header.source) == "192.168.0.1"
+        assert verified.certificate.certifies("header_checksum_valid")
+
+    def test_corrupted_header_rejected(self):
+        wire = bytearray.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        wire[8] = 63  # change TTL without fixing the checksum
+        assert IPV4_HEADER.try_parse(bytes(wire)) is None
+
+    def test_options_length_follows_ihl(self):
+        wire, verified = make_ipv4_header(
+            "10.0.0.1", "10.0.0.2", options=b"\x01\x01\x01\x01"
+        )
+        assert verified.value.ihl == 6
+        assert len(wire) == 24
+        reparsed = IPV4_HEADER.parse(wire)
+        assert reparsed.value.options == b"\x01\x01\x01\x01"
+
+    def test_version_constraint_enforced(self):
+        packet = IPV4_HEADER.make(
+            ihl=5, tos=0, total_length=20, identification=0, flags=0,
+            fragment_offset=0, ttl=64, protocol=6,
+            source=0, destination=0, options=b"",
+        ).replace(version=6)
+        with pytest.raises(VerificationError):
+            IPV4_HEADER.verify(packet)
+
+    def test_total_length_constraint(self):
+        packet = IPV4_HEADER.make(
+            ihl=5, tos=0, total_length=10, identification=0, flags=0,
+            fragment_offset=0, ttl=64, protocol=6,
+            source=0, destination=0, options=b"",
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            IPV4_HEADER.verify(packet)
+        names = {v.constraint_name for v in excinfo.value.violations}
+        assert "total_length_covers_header" in names
+
+
+class TestUdp:
+    def test_round_trip_with_payload(self):
+        packet = UDP_HEADER.make(
+            source_port=5353, destination_port=53, length=8 + 11,
+            payload=b"hello world",
+        )
+        verified = UDP_HEADER.parse(UDP_HEADER.encode(packet))
+        assert verified.value.payload == b"hello world"
+
+    def test_length_field_drives_payload_size(self):
+        packet = UDP_HEADER.make(
+            source_port=1, destination_port=2, length=8 + 3, payload=b"abc"
+        )
+        wire = UDP_HEADER.encode(packet)
+        assert len(wire) == 11
+
+    def test_short_length_rejected_at_decode(self):
+        # length=4 < 8 makes the payload length negative.
+        bad = (4).to_bytes(2, "big").join([b"\x00\x01\x00\x02", b"\x00\x00"])
+        assert UDP_HEADER.try_parse(b"\x00\x01\x00\x02\x00\x04\x00\x00") is None
+
+    def test_checksum_detects_payload_corruption(self):
+        packet = UDP_HEADER.make(
+            source_port=1, destination_port=2, length=8 + 4, payload=b"data"
+        )
+        wire = bytearray(UDP_HEADER.encode(packet))
+        wire[-1] ^= 0x01
+        assert UDP_HEADER.try_parse(bytes(wire)) is None
+
+
+class TestTcp:
+    def make_segment(self, **overrides):
+        values = dict(
+            source_port=443, destination_port=51000, sequence=1000,
+            acknowledgment=2000, data_offset=5, urg=False, ack=True,
+            psh=False, rst=False, syn=False, fin=False, window=65535,
+            urgent_pointer=0, options=b"",
+        )
+        values.update(overrides)
+        return TCP_HEADER.make(**values)
+
+    def test_round_trip(self):
+        packet = self.make_segment()
+        verified = TCP_HEADER.parse(TCP_HEADER.encode(packet))
+        assert verified.value.ack is True
+        assert verified.value.window == 65535
+
+    def test_flag_bits_positions(self):
+        syn_packet = self.make_segment(syn=True, ack=False)
+        wire = TCP_HEADER.encode(syn_packet)
+        assert wire[13] == 0b00000010  # SYN bit, RFC 793 layout
+
+    def test_syn_fin_exclusion(self):
+        packet = self.make_segment(syn=True, fin=True, ack=False)
+        with pytest.raises(VerificationError) as excinfo:
+            TCP_HEADER.verify(packet)
+        names = {v.constraint_name for v in excinfo.value.violations}
+        assert "syn_fin_exclusive" in names
+
+    def test_options_follow_data_offset(self):
+        packet = self.make_segment(data_offset=6, options=b"\x02\x04\x05\xb4")
+        reparsed = TCP_HEADER.parse(TCP_HEADER.encode(packet))
+        assert reparsed.value.options == b"\x02\x04\x05\xb4"
+
+
+class TestIcmp:
+    def test_echo_request_round_trip(self):
+        packet = ICMP_ECHO.make(
+            type=8, identifier=0x1234, sequence_number=1, data=b"ping!"
+        )
+        verified = ICMP_ECHO.parse(ICMP_ECHO.encode(packet))
+        assert verified.value.type == 8
+        assert verified.value.data == b"ping!"
+
+    def test_unknown_type_rejected(self):
+        packet = ICMP_ECHO.make(
+            type=8, identifier=1, sequence_number=1, data=b""
+        ).replace(type=5)
+        with pytest.raises(VerificationError):
+            ICMP_ECHO.verify(packet)

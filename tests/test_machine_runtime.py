@@ -1,0 +1,250 @@
+"""The machine runtime: exec_trans soundness, evidence demands, traces."""
+
+import pytest
+
+from repro.core.fields import Bytes, ChecksumField, UInt
+from repro.core.machine import (
+    InvalidTransitionError,
+    Machine,
+    UnverifiedPayloadError,
+    replay_trace,
+)
+from repro.core.packet import PacketSpec
+from repro.core.statemachine import MachineSpec, MachineSpecError, Param
+from repro.core.symbolic import Var, this
+
+ARQ = PacketSpec(
+    "ArqT",
+    fields=[
+        UInt("seq", bits=8),
+        ChecksumField("chk", algorithm="xor8", over=("seq", "length", "payload")),
+        UInt("length", bits=8),
+        Bytes("payload", length=this.length),
+    ],
+)
+
+OTHER = PacketSpec("OtherT", fields=[UInt("x", bits=8)])
+
+
+def sender_spec():
+    spec = MachineSpec("sender")
+    seq = Param("seq", bits=8)
+    ready = spec.state("Ready", params=[seq], initial=True)
+    wait = spec.state("Wait", params=[seq])
+    sent = spec.state("Sent", params=[seq], final=True)
+    n = Var("seq")
+    spec.transition("SEND", ready(n), wait(n), requires="bytes")
+    spec.transition("OK", wait(n), ready(n + 1), requires=ARQ)
+    spec.transition("FAIL", wait(n), ready(n))
+    spec.transition("FINISH", ready(n), sent(n))
+    return spec.seal()
+
+
+def verified_packet(seq=0):
+    return ARQ.verify(ARQ.make(seq=seq, length=2, payload=b"ok"))
+
+
+class TestInstantiation:
+    def test_unsealed_spec_rejected(self):
+        spec = MachineSpec("raw")
+        spec.state("A", initial=True, final=True)
+        with pytest.raises(MachineSpecError, match="sealed"):
+            Machine(spec)
+
+    def test_default_initial_state_is_zeroed(self):
+        machine = Machine(sender_spec())
+        assert machine.current.name == "Ready"
+        assert machine.current.values == (0,)
+
+    def test_explicit_initial_state(self):
+        spec = sender_spec()
+        machine = Machine(spec, initial=spec.states["Ready"].instance(7))
+        assert machine.current.values == (7,)
+
+    def test_foreign_initial_state_rejected(self):
+        spec = sender_spec()
+        other = sender_spec()
+        with pytest.raises(MachineSpecError, match="does not belong"):
+            Machine(spec, initial=other.states["Ready"].instance(0))
+
+
+class TestSoundExecution:
+    def test_valid_sequence(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("SEND", b"data")
+        machine.exec_trans("OK", verified_packet())
+        assert machine.current.values == (1,)
+
+    def test_sequence_wraps_at_byte(self):
+        spec = sender_spec()
+        machine = Machine(spec, initial=spec.states["Wait"].instance(255))
+        machine.exec_trans("OK", verified_packet())
+        assert machine.current.values == (0,)
+
+    def test_invalid_source_state_rejected(self):
+        machine = Machine(sender_spec())
+        with pytest.raises(InvalidTransitionError, match="does not match"):
+            machine.exec_trans("OK", verified_packet())
+
+    def test_unknown_transition_rejected(self):
+        machine = Machine(sender_spec())
+        with pytest.raises(InvalidTransitionError, match="no such transition"):
+            machine.exec_trans("TELEPORT")
+
+    def test_failed_transition_leaves_machine_unchanged(self):
+        machine = Machine(sender_spec())
+        before = machine.current
+        with pytest.raises(InvalidTransitionError):
+            machine.exec_trans("OK", verified_packet())
+        assert machine.current == before
+        assert machine.trace == ()
+
+    def test_finished_machine_accepts_nothing(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("FINISH")
+        assert machine.is_finished
+        with pytest.raises(InvalidTransitionError):
+            machine.exec_trans("SEND", b"x")
+
+
+class TestEvidenceDemands:
+    def test_bytes_requirement(self):
+        machine = Machine(sender_spec())
+        with pytest.raises(InvalidTransitionError, match="byte payload"):
+            machine.exec_trans("SEND", "not bytes")
+
+    def test_no_payload_transition_rejects_payload(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("SEND", b"x")
+        with pytest.raises(InvalidTransitionError, match="no payload"):
+            machine.exec_trans("FAIL", b"unexpected")
+
+    def test_raw_packet_rejected_where_verified_demanded(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("SEND", b"x")
+        raw = ARQ.make(seq=0, length=0, payload=b"")
+        with pytest.raises(UnverifiedPayloadError, match="Verified"):
+            machine.exec_trans("OK", raw)
+
+    def test_verified_of_wrong_spec_rejected(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("SEND", b"x")
+        wrong = OTHER.verify(OTHER.make(x=1))
+        with pytest.raises(UnverifiedPayloadError, match="OtherT"):
+            machine.exec_trans("OK", wrong)
+
+    def test_verified_of_right_spec_accepted(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("SEND", b"x")
+        machine.exec_trans("OK", verified_packet())
+        assert machine.current.name == "Ready"
+
+
+class TestInputs:
+    def build(self):
+        spec = MachineSpec("windowed")
+        base = Param("base")
+        active = spec.state("Active", params=[base], initial=True)
+        done = spec.state("Done", params=[base], final=True)
+        b, a = Var("base"), Var("ack")
+        spec.transition(
+            "ACK", active(b), active(a + 1), inputs=("ack",), guard=a >= b
+        )
+        spec.transition("STOP", active(b), done(b))
+        return spec.seal()
+
+    def test_input_drives_target(self):
+        machine = Machine(self.build())
+        machine.exec_trans("ACK", ack=4)
+        assert machine.current.values == (5,)
+
+    def test_guard_constrains_input(self):
+        machine = Machine(self.build())
+        machine.exec_trans("ACK", ack=3)
+        with pytest.raises(InvalidTransitionError, match="guard"):
+            machine.exec_trans("ACK", ack=1)
+
+    def test_missing_input_rejected(self):
+        machine = Machine(self.build())
+        with pytest.raises(InvalidTransitionError, match="declares inputs"):
+            machine.exec_trans("ACK")
+
+    def test_unexpected_input_rejected(self):
+        machine = Machine(self.build())
+        with pytest.raises(InvalidTransitionError, match="declares inputs"):
+            machine.exec_trans("STOP", ack=1)
+
+    def test_non_integer_input_rejected(self):
+        machine = Machine(self.build())
+        with pytest.raises(InvalidTransitionError, match="must be an int"):
+            machine.exec_trans("ACK", ack="five")
+
+
+class TestIntrospection:
+    def test_available_transitions(self):
+        machine = Machine(sender_spec())
+        names = {t.name for t in machine.available_transitions()}
+        assert names == {"SEND", "FINISH"}
+        machine.exec_trans("SEND", b"x")
+        names = {t.name for t in machine.available_transitions()}
+        assert names == {"OK", "FAIL"}
+
+    def test_expect_state(self):
+        machine = Machine(sender_spec())
+        machine.expect_state("Ready", seq=0)
+        with pytest.raises(InvalidTransitionError, match="expected state"):
+            machine.expect_state("Wait")
+        with pytest.raises(InvalidTransitionError, match="seq=3"):
+            machine.expect_state("Ready", seq=3)
+
+    def test_in_state(self):
+        machine = Machine(sender_spec())
+        assert machine.in_state("Ready")
+        assert not machine.in_state("Wait")
+
+
+class TestTraceAndObservers:
+    def test_trace_records_steps(self):
+        machine = Machine(sender_spec())
+        machine.exec_trans("SEND", b"x")
+        machine.exec_trans("OK", verified_packet())
+        assert [s.transition for s in machine.trace] == ["SEND", "OK"]
+        assert machine.trace[1].bindings_dict() == {"seq": 0}
+        assert machine.trace[1].target.values == (1,)
+
+    def test_observers_fire_after_each_step(self):
+        machine = Machine(sender_spec())
+        seen = []
+        machine.add_observer(lambda m, step, payload: seen.append(step.transition))
+        machine.exec_trans("SEND", b"x")
+        machine.exec_trans("FAIL")
+        assert seen == ["SEND", "FAIL"]
+
+    def test_replay_trace_reproduces_run(self):
+        spec = sender_spec()
+        machine = Machine(spec)
+        machine.exec_trans("SEND", b"x")
+        machine.exec_trans("OK", verified_packet())
+        machine.exec_trans("FINISH")
+        replayed = replay_trace(
+            spec,
+            spec.states["Ready"].instance(0),
+            [("SEND", b"x"), ("OK", verified_packet()), ("FINISH", None)],
+        )
+        assert replayed.current == machine.current
+
+    def test_replay_with_inputs(self):
+        spec = MachineSpec("w")
+        base = Param("base")
+        active = spec.state("Active", params=[base], initial=True)
+        done = spec.state("Done", params=[base], final=True)
+        b, a = Var("base"), Var("ack")
+        spec.transition("ACK", active(b), active(a + 1), inputs=("ack",))
+        spec.transition("STOP", active(b), done(b))
+        spec.seal()
+        machine = replay_trace(
+            spec,
+            active.instance(0),
+            [("ACK", None, {"ack": 4}), ("STOP", None, {})],
+        )
+        assert machine.current == done.instance(5)

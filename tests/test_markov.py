@@ -1,0 +1,111 @@
+"""The DTMC analyzer and the analytic stop-and-wait model."""
+
+import pytest
+
+from repro.modelcheck.markov import (
+    MarkovChain,
+    MarkovError,
+    expected_transmissions_per_message,
+    stop_and_wait_chain,
+    stop_and_wait_start,
+)
+
+
+class TestMarkovChain:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(MarkovError, match="sum"):
+            MarkovChain({"a": [(0.5, "b")]})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(MarkovError, match="negative"):
+            MarkovChain({"a": [(-0.1, "b"), (1.1, "b")]})
+
+    def test_needs_absorbing_state(self):
+        with pytest.raises(MarkovError, match="absorbing"):
+            MarkovChain({"a": [(1.0, "b")], "b": [(1.0, "a")]})
+
+    def test_fair_coin_expected_steps(self):
+        """Keep flipping until heads: geometric with mean 2."""
+        chain = MarkovChain({"flip": [(0.5, "heads"), (0.5, "flip")]})
+        assert chain.expected_steps_to_absorption("flip") == pytest.approx(2.0)
+
+    def test_absorption_probabilities_split(self):
+        chain = MarkovChain(
+            {"s": [(0.3, "win"), (0.2, "lose"), (0.5, "s")]}
+        )
+        probs = chain.absorption_probabilities("s")
+        assert probs[("win",) if ("win",) in probs else "win"] == pytest.approx(0.6)
+        assert probs["lose"] == pytest.approx(0.4)
+
+    def test_from_absorbing_state(self):
+        chain = MarkovChain({"s": [(1.0, "done")]})
+        assert chain.expected_steps_to_absorption("done") == 0.0
+        assert chain.absorption_probabilities("done") == {"done": 1.0}
+
+    def test_expected_visits(self):
+        chain = MarkovChain({"s": [(0.5, "done"), (0.5, "s")]})
+        assert chain.expected_visits("s", "s") == pytest.approx(2.0)
+
+    def test_gamblers_ruin(self):
+        """A 3-point random walk: classic closed-form check."""
+        p = 0.5
+        chain = MarkovChain(
+            {
+                1: [(p, 2), (1 - p, 0)],
+                2: [(p, 3), (1 - p, 1)],
+            }
+        )
+        probs = chain.absorption_probabilities(1)
+        assert probs[3] == pytest.approx(1 / 3)
+        assert probs[0] == pytest.approx(2 / 3)
+
+
+class TestStopAndWaitChain:
+    def test_expected_rounds_matches_closed_form(self):
+        for loss_data, loss_ack in ((0.0, 0.0), (0.2, 0.1), (0.5, 0.5)):
+            chain = stop_and_wait_chain(loss_data, loss_ack, messages=7)
+            expected = chain.expected_steps_to_absorption(stop_and_wait_start())
+            closed_form = 7 * expected_transmissions_per_message(loss_data, loss_ack)
+            assert expected == pytest.approx(closed_form)
+
+    def test_lossless_channel_needs_one_round_each(self):
+        chain = stop_and_wait_chain(0.0, 0.0, messages=5)
+        assert chain.expected_steps_to_absorption(
+            stop_and_wait_start()
+        ) == pytest.approx(5.0)
+
+    def test_bounded_retries_can_fail(self):
+        chain = stop_and_wait_chain(0.5, 0.0, messages=2, max_retries=3)
+        probs = chain.absorption_probabilities(stop_and_wait_start(max_retries=3))
+        per_message_failure = 0.5 ** 4  # all four attempts lost
+        expected_success = (1 - per_message_failure) ** 2
+        assert probs[("done",)] == pytest.approx(expected_success)
+        assert probs[("failed",)] == pytest.approx(1 - expected_success)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(MarkovError):
+            stop_and_wait_chain(1.0, 0.0, messages=1)
+        with pytest.raises(MarkovError):
+            stop_and_wait_chain(0.1, 0.1, messages=0)
+
+    def test_analytic_agrees_with_simulator(self):
+        """The PRISM-style cross-check: DTMC prediction vs netsim
+        measurement of transmissions per message."""
+        from repro.netsim.channel import ChannelConfig
+        from repro.protocols.arq import run_transfer
+
+        loss = 0.25
+        messages = [bytes([i]) for i in range(60)]
+        # The duplex link loses in BOTH directions: data and acks.
+        analytic = expected_transmissions_per_message(loss, loss)
+        measured = 0.0
+        seeds = range(6)
+        for seed in seeds:
+            report = run_transfer(
+                messages, ChannelConfig(loss_rate=loss), seed=seed,
+                max_retries=300,
+            )
+            assert report.success
+            measured += report.data_frames_sent / len(messages)
+        measured /= len(seeds)
+        assert measured == pytest.approx(analytic, rel=0.15)

@@ -1,0 +1,125 @@
+"""The explicit-state model checker: exploration, invariants, explosion."""
+
+import pytest
+
+from repro.core.statemachine import MachineSpec, Param
+from repro.core.symbolic import Var
+from repro.modelcheck import (
+    ExplorationBudgetExceeded,
+    check_invariant,
+    explore,
+)
+from repro.protocols.arq import build_sender_spec
+
+
+def counter_machine(bits=4):
+    spec = MachineSpec("counter")
+    n_param = Param("n", bits=bits)
+    count = spec.state("Count", params=[n_param], initial=True)
+    done = spec.state("Done", params=[n_param], final=True)
+    n = Var("n")
+    spec.transition("INC", count(n), count(n + 1))
+    spec.transition("STOP", count(n), done(n))
+    return spec
+
+
+class TestExploration:
+    def test_counter_reaches_whole_domain(self):
+        result = explore(counter_machine(bits=4))
+        # 16 Count states + 16 Done states.
+        assert result.states_visited == 32
+        assert result.deadlock_free
+
+    def test_exponential_growth_in_bits(self):
+        sizes = [explore(counter_machine(bits=b)).states_visited for b in (2, 4, 6)]
+        assert sizes == [8, 32, 128]  # 2 * 2**bits
+
+    def test_arq_sender_space(self):
+        result = explore(build_sender_spec(max_seq_bits=4))
+        assert result.states_visited == 4 * 16  # four states x 16 sequences
+        assert result.deadlock_free
+        assert result.all_can_reach_final() == []
+
+    def test_budget_exceeded_raises(self):
+        with pytest.raises(ExplorationBudgetExceeded):
+            explore(build_sender_spec(max_seq_bits=8), max_states=100)
+
+    def test_abstraction_shrinks_space(self):
+        full = explore(build_sender_spec(max_seq_bits=8))
+        abstracted = explore(build_sender_spec(max_seq_bits=8), abstraction=4)
+        assert abstracted.states_visited < full.states_visited
+
+    def test_payload_guards_are_overapproximated(self):
+        result = explore(build_sender_spec(max_seq_bits=2))
+        # OK's guard inspects the payload; the model cannot evaluate it.
+        assert "OK" in result.approximated_transitions
+
+    def test_input_domains_enumerated(self):
+        spec = MachineSpec("inp")
+        base = Param("base", bits=4)
+        active = spec.state("Active", params=[base], initial=True)
+        done = spec.state("Done", params=[base], final=True)
+        b, a = Var("base"), Var("ack")
+        spec.transition("ACK", active(b), active(a), inputs=("ack",), guard=a > b)
+        spec.transition("STOP", active(b), done(b))
+        result = explore(spec, input_domains={"ACK": {"ack": range(16)}})
+        assert result.states_visited == 32
+        assert result.approximated_transitions == []
+
+    def test_missing_input_domain_recorded(self):
+        spec = MachineSpec("inp2")
+        base = Param("base", bits=2)
+        active = spec.state("Active", params=[base], initial=True)
+        done = spec.state("Done", params=[base], final=True)
+        b, a = Var("base"), Var("ack")
+        spec.transition("ACK", active(b), active(a), inputs=("ack",))
+        spec.transition("STOP", active(b), done(b))
+        result = explore(spec)
+        assert "ACK" in result.approximated_transitions
+
+    def test_unbounded_param_hits_budget(self):
+        """An unbounded self-advancing machine has an infinite reachable
+        space; exploration surfaces that as a budget overflow — the state
+        explosion made tangible."""
+        spec = MachineSpec("unbounded")
+        n_param = Param("n")  # no bits: infinite domain
+        s = spec.state("S", params=[n_param], initial=True)
+        f = spec.state("F", params=[n_param], final=True)
+        spec.transition("INC", s(Var("n")), s(Var("n") + 1))
+        spec.transition("STOP", s(Var("n")), f(Var("n")))
+        with pytest.raises(ExplorationBudgetExceeded):
+            explore(spec, max_states=1000)
+
+
+class TestInvariants:
+    def test_invariant_holds(self):
+        result = explore(counter_machine(bits=3))
+        violations = check_invariant(result, lambda s: s.values[0] < 8)
+        assert violations == []
+
+    def test_violation_reported_with_path(self):
+        result = explore(counter_machine(bits=3))
+        violations = check_invariant(result, lambda s: s.values[0] < 3)
+        assert violations
+        worst = violations[0]
+        assert worst.path == ("INC",) * worst.state.values[0] or worst.path[-1] in (
+            "INC",
+            "STOP",
+        )
+
+    def test_path_to_reconstructs_witness(self):
+        result = explore(counter_machine(bits=3))
+        target = [
+            s
+            for s in result.reachable_states()
+            if s.name == "Count" and s.values == (3,)
+        ][0]
+        assert result.path_to(target) == ("INC", "INC", "INC")
+
+
+class TestSuccessorQueries:
+    def test_successors_listed(self):
+        result = explore(counter_machine(bits=2))
+        initial = result.initial
+        names = {name for name, _ in result.successors(initial)}
+        assert names == {"INC", "STOP"}

@@ -1,0 +1,283 @@
+"""The discrete-event simulator: clock, timers, channels, links."""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    Channel,
+    ChannelConfig,
+    DuplexLink,
+    Node,
+    Simulator,
+    Timer,
+)
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.25, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.25]
+
+    def test_run_until_time_leaves_later_events_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(2)))
+        sim.run()
+        assert fired == [2]
+        assert sim.now == 2.0
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        counter = []
+
+        def tick():
+            counter.append(1)
+            if len(counter) < 10:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        assert sim.run_until(lambda: len(counter) >= 3)
+        assert len(counter) == 3
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        sim.run(max_events=50)
+        assert sim.events_processed == 50
+
+
+class TestTimer:
+    def test_fires_after_duration(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [2.0]
+        assert timer.expirations == 1
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(1))
+        timer.start()
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_supersedes_previous(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=1.0)
+        timer.start()  # restart at t=1: should fire at t=3, not t=2
+        sim.run()
+        assert fired == [3.0]
+
+    def test_duration_change_on_start(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start(duration=0.5)
+        sim.run()
+        assert fired == [0.5]
+
+    def test_remaining(self):
+        sim = Simulator()
+        timer = Timer(sim, 4.0, lambda: None)
+        timer.start()
+        sim.schedule(1.0, lambda: None)
+        sim.step()
+        assert timer.remaining == 3.0
+
+    def test_invalid_duration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Timer(sim, 0.0, lambda: None)
+        timer = Timer(sim, 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            timer.start(duration=-1)
+
+
+class TestChannel:
+    def make_channel(self, config, seed=0):
+        sim = Simulator()
+        received = []
+        channel = Channel(sim, config, random.Random(seed), received.append)
+        return sim, channel, received
+
+    def test_clean_channel_delivers_everything(self):
+        sim, channel, received = self.make_channel(ChannelConfig())
+        frames = [bytes([i]) for i in range(20)]
+        for frame in frames:
+            channel.send(frame)
+        sim.run()
+        assert received == frames
+        assert channel.stats.delivered == 20
+
+    def test_full_loss_delivers_nothing(self):
+        sim, channel, received = self.make_channel(ChannelConfig(loss_rate=1.0))
+        for i in range(10):
+            channel.send(bytes([i]))
+        sim.run()
+        assert received == []
+        assert channel.stats.dropped == 10
+
+    def test_corruption_flips_exactly_one_bit(self):
+        sim, channel, received = self.make_channel(
+            ChannelConfig(corruption_rate=1.0), seed=3
+        )
+        channel.send(b"\x00\x00\x00\x00")
+        sim.run()
+        assert len(received) == 1
+        flipped_bits = sum(bin(b).count("1") for b in received[0])
+        assert flipped_bits == 1
+
+    def test_duplication_delivers_twice(self):
+        sim, channel, received = self.make_channel(
+            ChannelConfig(duplication_rate=1.0)
+        )
+        channel.send(b"x")
+        sim.run()
+        assert received == [b"x", b"x"]
+        assert channel.stats.duplicated == 1
+
+    def test_deterministic_given_seed(self):
+        config = ChannelConfig(loss_rate=0.3, corruption_rate=0.2, jitter=0.1)
+        outcomes = []
+        for _ in range(2):
+            sim, channel, received = self.make_channel(config, seed=42)
+            for i in range(50):
+                channel.send(bytes([i]))
+            sim.run()
+            outcomes.append(list(received))
+        assert outcomes[0] == outcomes[1]
+
+    def test_loss_rate_statistics(self):
+        sim, channel, received = self.make_channel(
+            ChannelConfig(loss_rate=0.3), seed=1
+        )
+        for i in range(2000):
+            channel.send(bytes([i % 256]))
+        sim.run()
+        observed = channel.stats.dropped / channel.stats.sent
+        assert 0.25 < observed < 0.35
+
+    def test_unconnected_channel_rejects_send(self):
+        sim = Simulator()
+        channel = Channel(sim, ChannelConfig(), random.Random(0))
+        with pytest.raises(RuntimeError, match="no receiver"):
+            channel.send(b"x")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            ChannelConfig(delay=-1.0)
+
+    def test_reordering_with_jitter(self):
+        sim, channel, received = self.make_channel(
+            ChannelConfig(reorder_rate=0.5, reorder_delay=1.0), seed=7
+        )
+        for i in range(30):
+            channel.send(bytes([i]))
+        sim.run()
+        assert sorted(received) != received  # some frame arrived out of order
+        assert len(received) == 30
+
+
+class TestNodesAndLinks:
+    def test_duplex_link_carries_both_directions(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        DuplexLink(sim, a, b, ChannelConfig())
+        inbox_a, inbox_b = [], []
+        a.on_receive(lambda frame, sender: inbox_a.append((frame, sender)))
+        b.on_receive(lambda frame, sender: inbox_b.append((frame, sender)))
+        a.send("b", b"to-b")
+        b.send("a", b"to-a")
+        sim.run()
+        assert inbox_b == [(b"to-b", "a")]
+        assert inbox_a == [(b"to-a", "b")]
+
+    def test_unknown_peer_rejected(self):
+        sim = Simulator()
+        a = Node(sim, "a")
+        with pytest.raises(KeyError, match="no link"):
+            a.send("stranger", b"x")
+
+    def test_unhandled_frames_dropped_silently(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        DuplexLink(sim, a, b, ChannelConfig())
+        a.send("b", b"x")  # b has no handler
+        sim.run()  # must not raise
+
+    def test_direction_streams_are_independent(self):
+        """Traffic in one direction must not perturb the other's faults."""
+        config = ChannelConfig(loss_rate=0.5)
+
+        def run(extra_reverse_traffic):
+            sim = Simulator()
+            a, b = Node(sim, "a"), Node(sim, "b")
+            DuplexLink(sim, a, b, config, seed=9)
+            inbox = []
+            b.on_receive(lambda frame, sender: inbox.append(frame))
+            a.on_receive(lambda frame, sender: None)
+            for i in range(100):
+                a.send("b", bytes([i]))
+                if extra_reverse_traffic:
+                    b.send("a", b"noise")
+            sim.run()
+            return inbox
+
+        assert run(False) == run(True)

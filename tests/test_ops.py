@@ -1,0 +1,153 @@
+"""Typed protocol operations: the paper's sendPacket contract (§3.4)."""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.ops import (
+    InconsistentEndStateError,
+    OpContractError,
+    ProtocolOp,
+    WrongStartStateError,
+)
+from repro.core.statemachine import MachineSpec, Param
+from repro.core.symbolic import Var
+from repro.protocols.arq import ACK_PACKET, build_sender_spec, send_packet_op
+
+
+def verified_ack(seq):
+    return ACK_PACKET.verify(ACK_PACKET.make(seq=seq))
+
+
+@pytest.fixture
+def spec():
+    return build_sender_spec()
+
+
+@pytest.fixture
+def op(spec):
+    return send_packet_op(spec)
+
+
+class TestContractValidation:
+    def test_endings_must_use_bound_variables(self, spec):
+        ready = spec.states["Ready"]
+        wait = spec.states["Wait"]
+        with pytest.raises(OpContractError, match="does not bind"):
+            ProtocolOp(
+                "bad", start=ready(Var("seq")), endings={"x": wait(Var("other"))}
+            )
+
+    def test_needs_at_least_one_ending(self, spec):
+        ready = spec.states["Ready"]
+        with pytest.raises(OpContractError, match="no endings"):
+            ProtocolOp("bad", start=ready(Var("seq")), endings={})
+
+    def test_names_must_be_identifiers(self, spec):
+        ready = spec.states["Ready"]
+        with pytest.raises(OpContractError):
+            ProtocolOp("not a name", start=ready(Var("seq")), endings={"x": ready(Var("seq"))})
+
+
+class TestSendPacketContract:
+    """The paper's NextSent: Ready(seq+1) on success, Timeout(seq) on failure."""
+
+    def test_successful_send_matches_next_ready(self, spec, op):
+        machine = Machine(spec)
+
+        def body(m, bindings):
+            m.exec_trans("SEND", b"data")
+            m.exec_trans("OK", verified_ack(bindings["seq"]))
+            return "delivered"
+
+        outcome = op.run(machine, body)
+        assert outcome.ending == "next_ready"
+        assert outcome.value == "delivered"
+        assert outcome.state == spec.states["Ready"].instance(1)
+        assert outcome.bindings_dict() == {"seq": 0}
+
+    def test_timeout_matches_failure(self, spec, op):
+        machine = Machine(spec)
+
+        def body(m, bindings):
+            m.exec_trans("SEND", b"data")
+            m.exec_trans("TIMEOUT")
+
+        outcome = op.run(machine, body)
+        assert outcome.ending == "failure"
+        assert outcome.state == spec.states["Timeout"].instance(0)
+
+    def test_retry_then_success_still_next_ready(self, spec, op):
+        machine = Machine(spec)
+
+        def body(m, bindings):
+            m.exec_trans("SEND", b"data")
+            m.exec_trans("FAIL")  # bad ack
+            m.exec_trans("SEND", b"data")  # retransmit
+            m.exec_trans("OK", verified_ack(bindings["seq"]))
+
+        assert op.run(machine, body).ending == "next_ready"
+
+    def test_inconsistent_end_state_rejected(self, spec, op):
+        machine = Machine(spec)
+
+        def body(m, bindings):
+            m.exec_trans("SEND", b"data")  # left hanging in Wait
+
+        with pytest.raises(InconsistentEndStateError, match="Wait"):
+            op.run(machine, body)
+
+    def test_wrong_sequence_ending_rejected(self, spec, op):
+        """Ending in Ready(seq+2) violates the NextSent contract even
+        though Ready itself is a permitted ending *shape*."""
+        machine = Machine(spec)
+
+        def body(m, bindings):
+            m.exec_trans("SEND", b"one")
+            m.exec_trans("OK", verified_ack(0))
+            m.exec_trans("SEND", b"two")
+            m.exec_trans("OK", verified_ack(1))  # now Ready(2), not Ready(1)
+
+        with pytest.raises(InconsistentEndStateError):
+            op.run(machine, body)
+
+    def test_wrong_start_state_rejected(self, spec, op):
+        machine = Machine(spec)
+        machine.exec_trans("SEND", b"data")  # now in Wait
+        with pytest.raises(WrongStartStateError, match="Wait"):
+            op.run(machine, lambda m, b: None)
+
+    def test_contract_respects_sequence_wraparound(self, spec, op):
+        machine = Machine(spec, initial=spec.states["Ready"].instance(255))
+
+        def body(m, bindings):
+            m.exec_trans("SEND", b"data")
+            m.exec_trans("OK", verified_ack(255))
+
+        outcome = op.run(machine, body)
+        assert outcome.ending == "next_ready"
+        assert outcome.state.values == (0,)  # 255 + 1 wraps
+
+
+class TestGenericOps:
+    def test_multiple_params(self):
+        spec = MachineSpec("two")
+        a = Param("a")
+        b = Param("b")
+        active = spec.state("Active", params=[a, b], initial=True)
+        done = spec.state("Done", params=[a], final=True)
+        x, y = Var("a"), Var("b")
+        spec.transition("STEP", active(x, y), active(x + 1, y))
+        spec.transition("END", active(x, y), done(x))
+        spec.seal()
+        op = ProtocolOp(
+            "advance_twice",
+            start=active(x, y),
+            endings={"stepped": active(x + 2, y), "ended": done(x)},
+        )
+        machine = Machine(spec, initial=active.instance(3, 9))
+        outcome = op.run(
+            machine,
+            lambda m, bound: (m.exec_trans("STEP"), m.exec_trans("STEP")),
+        )
+        assert outcome.ending == "stepped"
+        assert machine.current == active.instance(5, 9)

@@ -1,0 +1,220 @@
+"""Definition-time checking of packet specs — the DSL's 'type errors'."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.fields import Bytes, ChecksumField, Reserved, UInt, UIntList
+from repro.core.packet import PacketSpec, SpecError
+from repro.core.symbolic import this
+
+
+def arq_spec():
+    return PacketSpec(
+        "Arq",
+        fields=[
+            UInt("seq", bits=8),
+            ChecksumField("chk", algorithm="xor8", over=("seq", "length", "payload")),
+            UInt("length", bits=8),
+            Bytes("payload", length=this.length),
+        ],
+    )
+
+
+class TestStructuralValidation:
+    def test_empty_field_list_rejected(self):
+        with pytest.raises(SpecError, match="at least one field"):
+            PacketSpec("Empty", fields=[])
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SpecError, match="duplicate field"):
+            PacketSpec("Dup", fields=[UInt("a", bits=8), UInt("a", bits=8)])
+
+    def test_forward_shape_reference_rejected(self):
+        with pytest.raises(SpecError, match="look backwards"):
+            PacketSpec(
+                "Fwd",
+                fields=[Bytes("payload", length=this.length), UInt("length", bits=8)],
+            )
+
+    def test_reference_to_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="look backwards"):
+            PacketSpec(
+                "Unknown",
+                fields=[UInt("a", bits=8), Bytes("b", length=this.nothere)],
+            )
+
+    def test_non_integer_shape_reference_rejected(self):
+        with pytest.raises(SpecError, match="non-integer"):
+            PacketSpec(
+                "BadRef",
+                fields=[
+                    Bytes("blob", length=2),
+                    Bytes("more", length=this.blob),
+                ],
+            )
+
+    def test_greedy_field_must_be_last(self):
+        with pytest.raises(SpecError, match="greedy.*must be last"):
+            PacketSpec(
+                "Greedy",
+                fields=[Bytes("rest"), UInt("after", bits=8)],
+            )
+
+    def test_checksum_over_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            PacketSpec(
+                "BadCover",
+                fields=[
+                    UInt("a", bits=8),
+                    ChecksumField("chk", algorithm="xor8", over=("ghost",)),
+                ],
+            )
+
+    def test_checksum_cannot_cover_itself_by_name(self):
+        with pytest.raises(SpecError, match="cannot cover itself"):
+            PacketSpec(
+                "SelfCover",
+                fields=[
+                    UInt("a", bits=8),
+                    ChecksumField("chk", algorithm="xor8", over=("a", "chk")),
+                ],
+            )
+
+    def test_total_width_must_be_byte_aligned(self):
+        with pytest.raises(SpecError, match="byte-aligned"):
+            PacketSpec("Ragged", fields=[UInt("a", bits=4), UInt("b", bits=8)])
+
+    def test_sub_byte_checksum_cover_rejected_statically(self):
+        with pytest.raises(SpecError, match="whole number of bytes"):
+            PacketSpec(
+                "SubByteCover",
+                fields=[
+                    UInt("a", bits=4),
+                    Reserved("pad", bits=4),
+                    ChecksumField("chk", algorithm="xor8", over=("a",)),
+                ],
+            )
+
+    def test_duplicate_constraint_names_rejected(self):
+        with pytest.raises(SpecError, match="duplicate constraint"):
+            PacketSpec(
+                "DupConstraint",
+                fields=[UInt("a", bits=8)],
+                constraints=[
+                    Constraint("c1", lambda p: True),
+                    Constraint("c1", lambda p: True),
+                ],
+            )
+
+    def test_spec_name_must_be_identifier(self):
+        with pytest.raises(SpecError, match="identifier"):
+            PacketSpec("bad name", fields=[UInt("a", bits=8)])
+
+
+class TestStructuralQueries:
+    def test_field_names_in_order(self):
+        assert arq_spec().field_names == ("seq", "chk", "length", "payload")
+
+    def test_fixed_width_none_for_dependent_payload(self):
+        assert arq_spec().fixed_bit_width() is None
+
+    def test_fixed_width_sums_static_fields(self):
+        spec = PacketSpec(
+            "Fixed", fields=[UInt("a", bits=8), UInt("b", bits=16), Bytes("c", length=2)]
+        )
+        assert spec.fixed_bit_width() == 8 + 16 + 16
+
+    def test_auto_constraints_generated(self):
+        spec = PacketSpec(
+            "Auto",
+            fields=[
+                UInt("version", bits=8, const=4),
+                UInt("kind", bits=8, enum={0: "a", 1: "b"}),
+                Reserved("pad", bits=8),
+                ChecksumField("chk", algorithm="xor8", over=("version",)),
+            ],
+        )
+        names = set(spec.constraint_names)
+        assert "chk_valid" in names
+        assert "version_is_4" in names
+        assert "kind_in_enum" in names
+        assert "pad_is_0" in names
+
+
+class TestMake:
+    def test_make_fills_const_and_reserved_and_checksum(self):
+        spec = PacketSpec(
+            "M",
+            fields=[
+                UInt("version", bits=8, const=4),
+                Reserved("pad", bits=8),
+                UInt("x", bits=8),
+                ChecksumField("chk", algorithm="xor8", over=("version", "x")),
+            ],
+        )
+        packet = spec.make(x=9)
+        assert packet.version == 4
+        assert packet.pad == 0
+        assert packet.chk == 4 ^ 9
+
+    def test_make_rejects_supplied_checksum(self):
+        spec = arq_spec()
+        with pytest.raises(Exception, match="computed, not supplied"):
+            spec.make(seq=1, chk=0, length=0, payload=b"")
+
+    def test_make_requires_all_values(self):
+        with pytest.raises(Exception, match="no value supplied"):
+            arq_spec().make(seq=1)
+
+    def test_make_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown fields"):
+            arq_spec().make(seq=1, length=0, payload=b"", bogus=1)
+
+    def test_make_shape_checks_eagerly(self):
+        with pytest.raises(Exception, match="expected 3 bytes"):
+            arq_spec().make(seq=1, length=3, payload=b"toolong!")
+
+
+class TestPacketValue:
+    def test_attribute_and_item_access(self):
+        packet = arq_spec().make(seq=1, length=2, payload=b"ab")
+        assert packet.seq == 1
+        assert packet["payload"] == b"ab"
+        assert "seq" in packet
+        assert list(packet) == ["seq", "chk", "length", "payload"]
+
+    def test_immutability(self):
+        packet = arq_spec().make(seq=1, length=0, payload=b"")
+        with pytest.raises(AttributeError, match="immutable"):
+            packet.seq = 2
+
+    def test_replace_is_literal(self):
+        packet = arq_spec().make(seq=1, length=3, payload=b"abc")
+        assert packet.chk != 0  # 1 ^ 3 ^ 'a' ^ 'b' ^ 'c' is non-zero
+        forged = packet.replace(chk=0)
+        assert forged.chk == 0
+        assert packet.chk != 0
+
+    def test_replace_unknown_field_rejected(self):
+        packet = arq_spec().make(seq=1, length=0, payload=b"")
+        with pytest.raises(KeyError):
+            packet.replace(ghost=1)
+
+    def test_equality_and_hash(self):
+        spec = arq_spec()
+        a = spec.make(seq=1, length=2, payload=b"ab")
+        b = spec.make(seq=1, length=2, payload=b"ab")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != b.replace(seq=2)
+
+    def test_missing_attribute_raises(self):
+        packet = arq_spec().make(seq=1, length=0, payload=b"")
+        with pytest.raises(AttributeError, match="no field"):
+            packet.nonexistent
+
+    def test_integer_environment(self):
+        packet = arq_spec().make(seq=3, length=2, payload=b"hi")
+        env = packet.integer_environment()
+        assert env["seq"] == 3 and env["length"] == 2
+        assert "payload" not in env

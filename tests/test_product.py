@@ -1,0 +1,193 @@
+"""LTS composition and the compositional ARQ verification."""
+
+import pytest
+
+from repro.modelcheck.product import (
+    CompositionError,
+    Lts,
+    ProductExplosionError,
+    compose,
+)
+from repro.modelcheck.arq_model import (
+    build_channel_lts,
+    build_receiver_lts,
+    build_sender_lts,
+    is_success,
+    verify_arq_system,
+)
+
+
+def toggler(name, labels=("flip",)):
+    def edges(state):
+        for label in labels:
+            yield label, not state
+
+    return Lts(name, False, edges, frozenset(labels))
+
+
+class TestComposeBasics:
+    def test_interleaving_of_disjoint_alphabets(self):
+        a = toggler("a", ("flip_a",))
+        b = toggler("b", ("flip_b",))
+        result = compose([a, b])
+        assert result.states_visited == 4  # full interleaving
+        assert result.deadlocks == []
+
+    def test_shared_label_synchronizes(self):
+        a = toggler("a", ("flip",))
+        b = toggler("b", ("flip",))
+        result = compose([a, b])
+        # They flip together: only (F,F) and (T,T) are reachable.
+        assert result.states_visited == 2
+
+    def test_blocking_participant_disables_label(self):
+        def only_from_false(state):
+            if state is False:
+                yield "flip", True
+
+        a = Lts("a", False, only_from_false, frozenset({"flip"}))
+        b = toggler("b", ("flip",))
+        result = compose([a, b])
+        # After one synchronized flip, a (now True) blocks the label.
+        assert result.states_visited == 2
+        assert len(result.deadlocks) == 1
+
+    def test_label_outside_alphabet_rejected(self):
+        def edges(state):
+            yield "rogue", state
+
+        bad = Lts("bad", 0, edges, frozenset({"declared"}))
+        with pytest.raises(CompositionError, match="outside its declared"):
+            compose([bad])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CompositionError, match="unique"):
+            compose([toggler("x"), toggler("x")])
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(CompositionError):
+            compose([])
+
+    def test_explosion_budget(self):
+        def counter(state):
+            yield "inc", state + 1
+
+        unbounded = Lts("n", 0, counter, frozenset({"inc"}))
+        with pytest.raises(ProductExplosionError):
+            compose([unbounded], max_states=100)
+
+    def test_path_to_reconstructs_labels(self):
+        a = toggler("a", ("flip_a",))
+        b = toggler("b", ("flip_b",))
+        result = compose([a, b])
+        target = (True, True)
+        path = result.path_to(target)
+        assert sorted(path) == ["flip_a", "flip_b"]
+
+    def test_nondeterministic_choices_all_explored(self):
+        def branchy(state):
+            if state == 0:
+                yield "go", 1
+                yield "go", 2
+
+        lts = Lts("branchy", 0, branchy, frozenset({"go"}))
+        result = compose([lts])
+        assert result.states_visited == 3
+
+
+class TestArqComposition:
+    def test_correct_system_verifies(self):
+        report = verify_arq_system(modulus=4, messages=3)
+        assert report.ok
+        assert report.success_states >= 1
+        assert report.states > 50  # a real state space, not a toy
+
+    def test_only_deadlocks_are_success(self):
+        report = verify_arq_system(modulus=4, messages=2)
+        assert report.bad_deadlocks == []
+
+    def test_safety_receiver_at_most_one_ahead(self):
+        report = verify_arq_system(modulus=4, messages=3)
+        assert report.safety_violations == []
+
+    def test_progress_always_possible(self):
+        report = verify_arq_system(modulus=4, messages=3)
+        assert report.stuck_states == []
+
+    def test_broken_receiver_is_caught(self):
+        """The no-dup-ack bug: success becomes unreachable after a lost
+        ack, and the composition checker finds those states."""
+        report = verify_arq_system(modulus=4, messages=3, broken_receiver=True)
+        assert not report.ok
+        assert report.stuck_states  # the livelock configurations
+
+    def test_message_count_must_fit_sequence_window(self):
+        with pytest.raises(ValueError, match="modulus"):
+            verify_arq_system(modulus=2, messages=3)
+
+    def test_scaling_with_messages(self):
+        small = verify_arq_system(modulus=4, messages=1)
+        large = verify_arq_system(modulus=8, messages=5)
+        assert large.states > small.states
+        assert large.ok and small.ok
+
+
+class TestSenderLtsAgreesWithMachineSpec:
+    """Close the transcription gap: every sender-LTS edge replays on the
+    real DSL machine (paper §3.3 limitation 2, addressed head-on)."""
+
+    def test_every_lts_edge_is_a_legal_machine_run(self):
+        from repro.core.machine import Machine
+        from repro.protocols.arq import ACK_PACKET, build_sender_spec
+
+        modulus, messages = 4, 3
+        lts = build_sender_lts(modulus, messages)
+        spec = build_sender_spec(max_seq_bits=2)  # 2 bits -> modulus 4
+        label_to_transitions = {
+            "put_data": ["SEND"],
+            "get_ack": None,  # OK or FAIL depending on the ack value
+            "timeout": ["TIMEOUT"],
+            "retry": ["RETRY"],
+            "finish": ["FINISH"],
+        }
+        # Walk every LTS state (bounded enumeration) and replay each edge.
+        seen = {lts.initial}
+        frontier = [lts.initial]
+        while frontier:
+            state = frontier.pop()
+            for label, target in lts.edges(state):
+                self._replay(spec, state, label, target, modulus)
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        assert len(seen) > 10
+
+    @staticmethod
+    def _replay(spec, state, label, target, modulus):
+        from repro.core.machine import Machine
+        from repro.protocols.arq import ACK_PACKET
+
+        mode = state[0]
+        if mode == "Sent":
+            raise AssertionError("Sent must have no outgoing edges")
+        machine = Machine(spec, initial=spec.states[mode].instance(state[1]))
+        kind = label[0]
+        if kind == "put_data":
+            machine.exec_trans("SEND", b"x")
+        elif kind == "get_ack":
+            ack = ACK_PACKET.verify(ACK_PACKET.make(seq=label[1]))
+            if label[1] == state[1]:
+                machine.exec_trans("OK", ack)
+            else:
+                machine.exec_trans("FAIL")
+        elif kind == "timeout":
+            machine.exec_trans("TIMEOUT")
+        elif kind == "retry":
+            machine.exec_trans("RETRY")
+        elif kind == "finish":
+            machine.exec_trans("FINISH")
+        else:
+            raise AssertionError(f"unexpected label {label!r}")
+        assert machine.current.state.name == target[0]
+        if target[0] != "Sent":
+            assert machine.current.values == (target[1] % modulus,)

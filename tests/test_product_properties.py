@@ -1,0 +1,112 @@
+"""Property-based tests of the LTS composition semantics."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.modelcheck.product import Lts, compose
+
+LABELS = ["a", "b", "c", "tau1", "tau2"]
+
+
+def random_lts(name, seed, states=4, shared_labels=("a", "b"), local_label=None):
+    """A deterministic random LTS over a fixed label alphabet."""
+    rng = random.Random(seed)
+    alphabet = set(shared_labels)
+    if local_label:
+        alphabet.add(local_label)
+    edges_table = {}
+    for state in range(states):
+        outgoing = []
+        for label in sorted(alphabet):
+            if rng.random() < 0.6:
+                outgoing.append((label, rng.randrange(states)))
+        edges_table[state] = outgoing
+
+    def edges(state):
+        return list(edges_table.get(state, []))
+
+    return Lts(name, 0, edges, frozenset(alphabet))
+
+
+def reachable_alone(lts, cap=10_000):
+    result = compose([lts], max_states=cap)
+    return result.states_visited
+
+
+class TestCompositionLaws:
+    @given(seed_a=st.integers(0, 500), seed_b=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_product_no_larger_than_cartesian(self, seed_a, seed_b):
+        a = random_lts("a", seed_a, local_label="tau1")
+        b = random_lts("b", seed_b, local_label="tau2")
+        product = compose([a, b], max_states=100_000)
+        assert product.states_visited <= 4 * 4
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_chaos_component_preserves_reachability(self, seed):
+        """Composing with a one-state component that always offers every
+        shared label leaves the other component's reachable set intact."""
+        a = random_lts("a", seed, shared_labels=("a", "b"), local_label="tau1")
+
+        def chaos_edges(state):
+            return [("a", 0), ("b", 0)]
+
+        chaos = Lts("chaos", 0, chaos_edges, frozenset({"a", "b"}))
+        alone = reachable_alone(a)
+        together = compose([a, chaos], max_states=100_000)
+        assert together.states_visited == alone
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_composition_is_order_insensitive_in_size(self, seed):
+        a = random_lts("a", seed, local_label="tau1")
+        b = random_lts("b", seed + 1000, local_label="tau2")
+        ab = compose([a, b], max_states=100_000)
+        ba = compose([b, a], max_states=100_000)
+        assert ab.states_visited == ba.states_visited
+        assert ab.edges_traversed == ba.edges_traversed
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_blocking_component_only_removes_behaviour(self, seed):
+        """Synchronizing with any component never *adds* reachable states
+        for the original component's projection."""
+        a = random_lts("a", seed, shared_labels=("a", "b"), local_label="tau1")
+        b = random_lts("b", seed + 77, shared_labels=("a", "b"))
+        product = compose([a, b], max_states=100_000)
+        projected = {state[0] for state in product.reachable_states()}
+        assert len(projected) <= reachable_alone(a)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_paths_replay(self, seed):
+        """Every reported path actually drives the product to its state."""
+        a = random_lts("a", seed, local_label="tau1")
+        b = random_lts("b", seed + 13, local_label="tau2")
+        product = compose([a, b], max_states=100_000)
+        states = product.reachable_states()
+        target = states[min(len(states) - 1, 3)]
+        path = product.path_to(target)
+        # Replay by following edges greedily along the recorded labels.
+        current = product.initial
+        for label in path:
+            successors = [
+                s for l, s in product.successors(current) if l == label
+            ]
+            assert successors, f"label {label} not available at {current}"
+            # The path came from the predecessor map, so one successor is
+            # on the recorded route; follow the one that can still reach
+            # the target (any choice consistent with the map works here
+            # because we replay the exact recorded predecessor chain).
+            current = successors[0]
+            if current == target:
+                break
+        # The final state after the full path must be the target when we
+        # followed the deterministic single-choice chain.
+        if all(
+            len([s for l, s in product.successors(x)]) <= 1
+            for x in states
+        ):
+            assert current == target

@@ -1,0 +1,152 @@
+"""Sliding-window protocols: Go-Back-N and Selective Repeat."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.machine import InvalidTransitionError, Machine
+from repro.netsim.channel import ChannelConfig
+from repro.protocols.sliding import (
+    KIND_CUMULATIVE,
+    SLIDING_ACK,
+    SLIDING_PACKET,
+    build_gbn_sender_spec,
+    build_window_receiver_spec,
+    run_gbn_transfer,
+    run_sr_transfer,
+)
+
+
+def verified_ack(seq, kind=KIND_CUMULATIVE):
+    return SLIDING_ACK.verify(SLIDING_ACK.make(kind=kind, seq=seq))
+
+
+class TestGbnSenderMachine:
+    def test_window_guard_limits_sends(self):
+        machine = Machine(build_gbn_sender_spec(window=2))
+        machine.exec_trans("SEND", b"a")
+        machine.exec_trans("SEND", b"b")
+        with pytest.raises(InvalidTransitionError, match="guard"):
+            machine.exec_trans("SEND", b"c")
+
+    def test_cumulative_ack_slides_base(self):
+        machine = Machine(build_gbn_sender_spec(window=4))
+        for payload in (b"a", b"b", b"c"):
+            machine.exec_trans("SEND", payload)
+        machine.exec_trans("ACK", verified_ack(1), ack=1)
+        assert machine.current.values == (2, 3)
+
+    def test_ack_guard_rejects_future_ack(self):
+        machine = Machine(build_gbn_sender_spec(window=4))
+        machine.exec_trans("SEND", b"a")
+        with pytest.raises(InvalidTransitionError, match="guard"):
+            machine.exec_trans("ACK", verified_ack(5), ack=5)
+
+    def test_old_ack_does_not_move_window(self):
+        machine = Machine(build_gbn_sender_spec(window=4))
+        machine.exec_trans("SEND", b"a")
+        machine.exec_trans("ACK", verified_ack(0), ack=0)
+        machine.exec_trans("SEND", b"b")
+        machine.exec_trans("ACK_OLD", verified_ack(0), ack=0)
+        assert machine.current.values == (1, 2)
+
+    def test_go_back_rewinds_next(self):
+        machine = Machine(build_gbn_sender_spec(window=4))
+        for payload in (b"a", b"b", b"c"):
+            machine.exec_trans("SEND", payload)
+        machine.exec_trans("GO_BACK")
+        assert machine.current.values == (0, 0)
+
+    def test_finish_needs_empty_window(self):
+        machine = Machine(build_gbn_sender_spec(window=4))
+        machine.exec_trans("SEND", b"a")
+        with pytest.raises(InvalidTransitionError, match="guard"):
+            machine.exec_trans("FINISH")
+        machine.exec_trans("ACK", verified_ack(0), ack=0)
+        machine.exec_trans("FINISH")
+        assert machine.is_finished
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build_gbn_sender_spec(window=0)
+
+
+class TestWindowReceiverMachine:
+    def test_in_order_advances(self):
+        machine = Machine(build_window_receiver_spec("R1"))
+        packet = SLIDING_PACKET.verify(
+            SLIDING_PACKET.make(seq=0, length=1, payload=b"x")
+        )
+        machine.exec_trans("RECV", packet)
+        assert machine.current.values == (1,)
+
+    def test_out_of_order_does_not_advance(self):
+        machine = Machine(build_window_receiver_spec("R2"))
+        packet = SLIDING_PACKET.verify(
+            SLIDING_PACKET.make(seq=3, length=1, payload=b"x")
+        )
+        machine.exec_trans("OUT_OF_ORDER", packet)
+        assert machine.current.values == (0,)
+
+
+class TestTransfers:
+    MESSAGES = [f"payload-{i:03d}".encode() for i in range(40)]
+
+    @pytest.mark.parametrize("run", [run_gbn_transfer, run_sr_transfer])
+    def test_clean_channel(self, run):
+        report = run(self.MESSAGES)
+        assert report.success
+        assert report.violations == []
+        assert report.retransmissions == 0
+
+    @pytest.mark.parametrize("run", [run_gbn_transfer, run_sr_transfer])
+    def test_lossy_channel(self, run):
+        report = run(self.MESSAGES, ChannelConfig(loss_rate=0.2), seed=6)
+        assert report.success
+        assert report.violations == []
+        assert report.retransmissions > 0
+
+    @pytest.mark.parametrize("run", [run_gbn_transfer, run_sr_transfer])
+    def test_corrupting_reordering_channel(self, run):
+        config = ChannelConfig(
+            corruption_rate=0.1, reorder_rate=0.2, jitter=0.03
+        )
+        report = run(self.MESSAGES, config, seed=7)
+        assert report.success
+        assert report.violations == []
+
+    def test_sr_retransmits_less_than_gbn_under_loss(self):
+        """Selective repeat's selling point, measured."""
+        config = ChannelConfig(loss_rate=0.2)
+        total_gbn = 0
+        total_sr = 0
+        for seed in range(5):
+            total_gbn += run_gbn_transfer(
+                self.MESSAGES, config, window=8, seed=seed
+            ).data_frames_sent
+            total_sr += run_sr_transfer(
+                self.MESSAGES, config, window=8, seed=seed
+            ).data_frames_sent
+        assert total_sr < total_gbn
+
+    def test_larger_window_is_faster_on_clean_link(self):
+        slow = run_gbn_transfer(self.MESSAGES, window=1)
+        fast = run_gbn_transfer(self.MESSAGES, window=8)
+        assert fast.duration < slow.duration
+
+    @settings(deadline=None, max_examples=10)
+    @given(loss=st.floats(0, 0.3), seed=st.integers(0, 500))
+    def test_gbn_invariants_any_fault_pattern(self, loss, seed):
+        messages = [f"m{i}".encode() for i in range(10)]
+        report = run_gbn_transfer(
+            messages, ChannelConfig(loss_rate=loss), seed=seed
+        )
+        assert report.violations == []
+
+    @settings(deadline=None, max_examples=10)
+    @given(loss=st.floats(0, 0.3), seed=st.integers(0, 500))
+    def test_sr_invariants_any_fault_pattern(self, loss, seed):
+        messages = [f"m{i}".encode() for i in range(10)]
+        report = run_sr_transfer(
+            messages, ChannelConfig(loss_rate=loss), seed=seed
+        )
+        assert report.violations == []

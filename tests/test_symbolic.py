@@ -1,0 +1,172 @@
+"""The symbolic expression language: evaluation, substitution, unification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.symbolic import (
+    BinOp,
+    Const,
+    FieldRef,
+    SymbolicError,
+    UnboundVariableError,
+    UnificationError,
+    Var,
+    as_expr,
+    iter_subexpressions,
+    this,
+    unify,
+)
+
+
+class TestConstruction:
+    def test_as_expr_wraps_ints(self):
+        assert as_expr(5) == Const(5)
+
+    def test_as_expr_rejects_bools(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_as_expr_passes_through(self):
+        v = Var("x")
+        assert as_expr(v) is v
+
+    def test_this_builds_field_refs(self):
+        ref = this.length
+        assert isinstance(ref, FieldRef)
+        assert ref.field_name == "length"
+
+    def test_operator_sugar_builds_trees(self):
+        expr = (Var("n") + 1) * 4 - 20
+        assert expr.evaluate({"n": 6}) == 8
+
+    def test_reflected_operators(self):
+        assert (1 + Var("n")).evaluate({"n": 2}) == 3
+        assert (10 - Var("n")).evaluate({"n": 2}) == 8
+        assert (3 * Var("n")).evaluate({"n": 2}) == 6
+
+
+class TestEvaluation:
+    def test_unbound_variable_is_reported(self):
+        with pytest.raises(UnboundVariableError) as excinfo:
+            Var("seq").evaluate({})
+        assert excinfo.value.name == "seq"
+
+    def test_division_by_zero_is_symbolic_error(self):
+        with pytest.raises(SymbolicError, match="division by zero"):
+            (Var("a") // Var("b")).evaluate({"a": 1, "b": 0})
+
+    def test_modulo(self):
+        assert (Var("s") % 256).evaluate({"s": 257}) == 1
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arithmetic_agrees_with_python(self, a, b):
+        env = {"a": a, "b": b}
+        assert (Var("a") + Var("b")).evaluate(env) == a + b
+        assert (Var("a") - Var("b")).evaluate(env) == a - b
+        assert (Var("a") * Var("b")).evaluate(env) == a * b
+        if b != 0:
+            assert (Var("a") // Var("b")).evaluate(env) == a // b
+            assert (Var("a") % Var("b")).evaluate(env) == a % b
+
+
+class TestStructuralEquality:
+    def test_equal_trees_compare_equal(self):
+        assert Var("seq") + 1 == Var("seq") + 1
+        assert hash(Var("seq") + 1) == hash(Var("seq") + 1)
+
+    def test_different_trees_differ(self):
+        assert Var("seq") + 1 != Var("seq") + 2
+        assert Var("a") != Var("b")
+        assert Const(1) != Var("a")
+
+    def test_comparisons_are_predicates_not_equality(self):
+        predicate = Var("a") < Var("b")
+        assert predicate.evaluate({"a": 1, "b": 2})
+        assert not predicate.evaluate({"a": 2, "b": 1})
+
+    def test_eq_predicate_method(self):
+        predicate = Var("a").eq(Var("b"))
+        assert predicate.evaluate({"a": 3, "b": 3})
+        assert not predicate.evaluate({"a": 3, "b": 4})
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        expr = (Var("n") + 1).substitute({"n": 5})
+        assert expr == Const(6)
+
+    def test_partial_substitution_stays_symbolic(self):
+        expr = (Var("n") + Var("m")).substitute({"n": 5})
+        assert expr.free_variables() == frozenset({"m"})
+        assert expr.evaluate({"m": 2}) == 7
+
+    def test_substitute_with_expression(self):
+        expr = Var("n").substitute({"n": Var("k") * 2})
+        assert expr.evaluate({"k": 3}) == 6
+
+
+class TestPredicates:
+    def test_conjunction_disjunction_negation(self):
+        p = (Var("x") > 0) & (Var("x") < 10)
+        assert p.evaluate({"x": 5})
+        assert not p.evaluate({"x": 15})
+        q = (Var("x") < 0) | (Var("x") > 10)
+        assert q.evaluate({"x": 11})
+        assert not q.evaluate({"x": 5})
+        assert (~p).evaluate({"x": 15})
+
+    def test_free_variables_union(self):
+        p = (Var("a") > 0) & (Var("b") < 1)
+        assert p.free_variables() == frozenset({"a", "b"})
+
+
+class TestUnification:
+    def test_plain_variable_binds(self):
+        assert unify(Var("seq"), 7) == {"seq": 7}
+
+    def test_constant_matches_or_fails(self):
+        assert unify(Const(3), 3) == {}
+        with pytest.raises(UnificationError):
+            unify(Const(3), 4)
+
+    def test_rebinding_consistent_value_ok(self):
+        bindings = {"seq": 7}
+        assert unify(Var("seq"), 7, bindings) == {"seq": 7}
+
+    def test_rebinding_conflict_fails(self):
+        with pytest.raises(UnificationError):
+            unify(Var("seq"), 8, {"seq": 7})
+
+    def test_addition_pattern_inverts(self):
+        assert unify(Var("seq") + 1, 5) == {"seq": 4}
+
+    def test_subtraction_patterns_invert_both_sides(self):
+        assert unify(Var("n") - 2, 5) == {"n": 7}
+        assert unify(10 - Var("n"), 4) == {"n": 6}
+
+    def test_multiplication_requires_divisibility(self):
+        assert unify(Var("n") * 4, 20) == {"n": 5}
+        with pytest.raises(UnificationError):
+            unify(Var("n") * 4, 21)
+
+    def test_ground_compound_is_checked(self):
+        assert unify(Var("n") + Var("m"), 5, {"n": 2, "m": 3}) == {"n": 2, "m": 3}
+        with pytest.raises(UnificationError):
+            unify(Var("n") + Var("m"), 6, {"n": 2, "m": 3})
+
+    def test_two_unknowns_rejected(self):
+        with pytest.raises(UnificationError, match="both sides"):
+            unify(Var("n") + Var("m"), 5)
+
+    @given(st.integers(0, 10_000), st.integers(1, 100))
+    def test_unify_inverts_addition_for_all_values(self, value, offset):
+        bindings = unify(Var("x") + offset, value + offset)
+        assert bindings["x"] == value
+
+
+class TestIteration:
+    def test_iter_subexpressions_preorder(self):
+        expr = (Var("a") + 1) * Var("b")
+        nodes = list(iter_subexpressions(expr))
+        assert nodes[0] is expr
+        assert Var("a") in nodes and Const(1) in nodes and Var("b") in nodes

@@ -1,0 +1,121 @@
+"""The inline-testing module: generated test cases for specs and machines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.protocols.arq import ACK_PACKET, ARQ_PACKET, build_sender_spec
+from repro.protocols.dns import DNS_HEADER
+from repro.protocols.headers import ICMP_ECHO, IPV4_HEADER, TCP_HEADER, UDP_HEADER
+from repro.testing import (
+    GenerationError,
+    machine_self_test,
+    packets,
+    random_packet,
+    spec_self_test,
+)
+
+
+class TestRandomPacket:
+    @pytest.mark.parametrize(
+        "spec", [ARQ_PACKET, ACK_PACKET, IPV4_HEADER, TCP_HEADER, ICMP_ECHO, DNS_HEADER]
+    )
+    def test_generated_packets_verify(self, spec):
+        rng = random.Random(7)
+        for _ in range(20):
+            packet = random_packet(spec, rng)
+            verified = spec.verify(packet)  # must not raise
+            assert verified.value == packet
+
+    def test_dependent_shapes_resolved(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            packet = random_packet(IPV4_HEADER, rng)
+            assert len(packet.options) == (packet.ihl - 5) * 4
+
+    def test_reproducible_by_seed(self):
+        a = random_packet(ARQ_PACKET, random.Random(5))
+        b = random_packet(ARQ_PACKET, random.Random(5))
+        assert a == b
+
+    def test_unsatisfiable_spec_reports_clearly(self):
+        from repro.core.constraints import Constraint
+        from repro.core.fields import UInt
+        from repro.core.packet import PacketSpec
+
+        impossible = PacketSpec(
+            "Impossible",
+            fields=[UInt("x", bits=8)],
+            constraints=[Constraint("never", lambda p: False)],
+        )
+        with pytest.raises(GenerationError, match="could not generate"):
+            random_packet(impossible, random.Random(0), max_attempts=10)
+
+    def test_udp_generated_lengths_consistent(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            packet = random_packet(UDP_HEADER, rng)
+            assert packet.length == len(packet.payload) + 8
+
+
+class TestSpecSelfTest:
+    @pytest.mark.parametrize(
+        "spec", [ARQ_PACKET, ACK_PACKET, IPV4_HEADER, UDP_HEADER, DNS_HEADER]
+    )
+    def test_shipped_specs_pass(self, spec):
+        report = spec_self_test(spec, cases=25, seed=3)
+        report.raise_on_failure()
+        assert report.ok
+
+    def test_detects_broken_codec_symmetry(self):
+        """A spec whose encode and decode disagree must fail self-test."""
+        from repro.core.fields import UInt
+        from repro.core.packet import PacketSpec
+
+        class LyingField(UInt):
+            def encode(self, writer, value, env):
+                super().encode(writer, (value + 1) % 256, env)  # seeded bug
+
+        broken = PacketSpec("Broken", fields=[LyingField("x", bits=8)])
+        report = spec_self_test(broken, cases=10, include_codegen=False)
+        assert not report.ok
+        with pytest.raises(AssertionError, match="round-trip"):
+            report.raise_on_failure()
+
+
+class TestMachineSelfTest:
+    @staticmethod
+    def provide(transition, machine):
+        if transition.requires == "bytes":
+            return b"payload"
+        if transition.requires is ACK_PACKET:
+            return ACK_PACKET.verify(
+                ACK_PACKET.make(seq=machine.current.values[0])
+            )
+        return None
+
+    def test_arq_sender_walks_clean(self):
+        report = machine_self_test(
+            build_sender_spec(), self.provide, walks=15, seed=2
+        )
+        report.raise_on_failure()
+
+    def test_random_initial_states(self):
+        spec = build_sender_spec()
+
+        def initial(rng):
+            return spec.states["Ready"].instance(rng.randrange(256))
+
+        report = machine_self_test(
+            spec, self.provide, walks=10, seed=4, initial_factory=initial
+        )
+        assert report.ok
+
+
+class TestHypothesisIntegration:
+    @settings(max_examples=20, deadline=None)
+    @given(packets(ARQ_PACKET))
+    def test_strategy_yields_verified_packets(self, packet):
+        wire = ARQ_PACKET.encode(packet)
+        assert ARQ_PACKET.parse(wire).value == packet

@@ -1,0 +1,93 @@
+"""The chat protocol: ABNF syntax composed with DSL framing and behaviour."""
+
+import pytest
+
+from repro.core.packet import VerificationError
+from repro.protocols.textproto import (
+    CHAT_FRAME,
+    ChatSession,
+    build_session_spec,
+    is_wellformed_command,
+    make_frame,
+)
+
+
+class TestSyntaxConstraint:
+    def test_wellformed_commands(self):
+        for line in (
+            b"JOIN lobby\r\n",
+            b"LEAVE room-1\r\n",
+            b"MSG lobby hello there\r\n",
+            b"PING\r\n",
+        ):
+            assert is_wellformed_command(line)
+
+    def test_malformed_commands(self):
+        for line in (
+            b"SHOUT lobby\r\n",     # unknown verb
+            b"JOIN\r\n",            # missing room
+            b"JOIN lobby",          # missing CRLF
+            b"MSG lobby\r\n",       # missing text
+            b"JOIN a b c\r\n",      # room with spaces
+            b"",
+        ):
+            assert not is_wellformed_command(line)
+
+    def test_frame_verification_includes_abnf(self):
+        line = b"SHOUT loudly\r\n"
+        packet = CHAT_FRAME.make(length=len(line), command=line)
+        with pytest.raises(VerificationError) as excinfo:
+            CHAT_FRAME.verify(packet)
+        names = {v.constraint_name for v in excinfo.value.violations}
+        assert "command_wellformed" in names
+
+    def test_crc_and_abnf_both_enforced_on_parse(self):
+        wire = bytearray(make_frame("JOIN lobby"))
+        wire[-3] ^= 0xFF  # corrupt a payload byte
+        assert CHAT_FRAME.try_parse(bytes(wire)) is None
+
+
+class TestSessionBehaviour:
+    def test_happy_flow(self):
+        session = ChatSession()
+        assert session.submit(make_frame("JOIN lobby"))
+        assert session.submit(make_frame("MSG lobby hello"))
+        assert session.submit(make_frame("PING"))
+        assert session.submit(make_frame("LEAVE lobby"))
+        assert [verb for verb, _, _ in session.log] == [
+            "JOIN", "MSG", "PING", "LEAVE",
+        ]
+
+    def test_cannot_speak_before_joining(self):
+        session = ChatSession()
+        assert not session.submit(make_frame("MSG lobby hello"))
+        assert session.machine.in_state("Outside")
+
+    def test_cannot_speak_into_other_room(self):
+        session = ChatSession()
+        session.submit(make_frame("JOIN lobby"))
+        assert not session.submit(make_frame("MSG other-room psst"))
+        assert session.room == "lobby"
+
+    def test_cannot_join_twice(self):
+        session = ChatSession()
+        session.submit(make_frame("JOIN lobby"))
+        assert not session.submit(make_frame("JOIN annex"))
+        assert session.room == "lobby"
+
+    def test_garbage_rejected_totally(self):
+        session = ChatSession()
+        assert not session.submit(b"\x00\x01garbage")
+        assert not session.submit(b"")
+        assert session.log == []
+
+    def test_session_spec_is_checked(self):
+        from repro.core.checker import check_machine
+
+        assert check_machine(build_session_spec()).ok
+
+    def test_ping_works_in_both_phases(self):
+        session = ChatSession()
+        assert session.submit(make_frame("PING"))
+        session.submit(make_frame("JOIN lobby"))
+        assert session.submit(make_frame("PING"))

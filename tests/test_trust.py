@@ -1,0 +1,145 @@
+"""Trust learning and the untrusted relay mesh (experiment E8)."""
+
+import random
+
+import pytest
+
+from repro.trust import RelayMesh, TrustManager, run_mesh_experiment
+
+
+class TestTrustManager:
+    def test_unobserved_nodes_start_at_half(self):
+        manager = TrustManager()
+        assert manager.trust("fresh") == 0.5
+
+    def test_successes_raise_trust(self):
+        manager = TrustManager()
+        for _ in range(10):
+            manager.record_success(["relay-a"])
+        assert manager.trust("relay-a") > 0.9
+
+    def test_failures_lower_trust(self):
+        manager = TrustManager()
+        for _ in range(10):
+            manager.record_failure(["relay-a"])
+        assert manager.trust("relay-a") < 0.1
+
+    def test_path_score_is_product(self):
+        manager = TrustManager()
+        for _ in range(8):
+            manager.record_success(["a"])
+            manager.record_failure(["b"])
+        assert manager.path_score(["a", "b"]) == pytest.approx(
+            manager.trust("a") * manager.trust("b")
+        )
+
+    def test_greedy_selection_prefers_trusted(self):
+        manager = TrustManager(epsilon=0.0, rng=random.Random(0))
+        for _ in range(10):
+            manager.record_success(["good"])
+            manager.record_failure(["bad"])
+        chosen = manager.select_path([["bad"], ["good"]])
+        assert chosen == ["good"]
+
+    def test_epsilon_explores(self):
+        manager = TrustManager(epsilon=1.0, rng=random.Random(0))
+        for _ in range(10):
+            manager.record_success(["good"])
+            manager.record_failure(["bad"])
+        seen = {tuple(manager.select_path([["bad"], ["good"]])) for _ in range(50)}
+        assert ("bad",) in seen  # exploration still visits the bad path
+
+    def test_ranking_sorted(self):
+        manager = TrustManager()
+        manager.record_success(["a"])
+        manager.record_failure(["b"])
+        ranking = manager.ranking()
+        assert ranking[0][0] == "a"
+        assert ranking[-1][0] == "b"
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(ValueError):
+            TrustManager().select_path([])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TrustManager(epsilon=1.5)
+        with pytest.raises(ValueError):
+            TrustManager(decay=0.0)
+
+
+class TestRelayMesh:
+    def test_compromised_count_matches_fraction(self):
+        mesh = RelayMesh(width=4, hops=2, compromised_fraction=0.25, seed=1)
+        assert len(mesh.compromised) == 2  # 8 relays * 0.25
+
+    def test_all_paths_enumerated(self):
+        mesh = RelayMesh(width=3, hops=2, seed=1)
+        paths = mesh.all_paths()
+        assert len(paths) == 9
+        assert all(len(path) == 2 for path in paths)
+
+    def test_honest_path_usually_delivers(self):
+        mesh = RelayMesh(
+            width=2, hops=1, compromised_fraction=0.0, baseline_loss=0.0, seed=1
+        )
+        assert all(mesh.attempt(path) for path in mesh.all_paths())
+
+    def test_compromised_relay_mostly_drops(self):
+        mesh = RelayMesh(
+            width=1, hops=1, compromised_fraction=1.0,
+            compromised_drop_rate=1.0, baseline_loss=0.0, seed=1,
+        )
+        assert not any(mesh.attempt(path) for path in mesh.all_paths())
+
+    def test_seeded_reproducibility(self):
+        a = run_mesh_experiment("trust", rounds=100, seed=5)
+        b = run_mesh_experiment("trust", rounds=100, seed=5)
+        assert a.delivery_history == b.delivery_history
+
+
+class TestStrategies:
+    def test_trust_beats_random_under_compromise(self):
+        random_ratio = 0.0
+        trust_ratio = 0.0
+        for seed in range(5):
+            random_ratio += run_mesh_experiment(
+                "random", compromised_fraction=0.4, seed=seed
+            ).delivery_ratio
+            trust_ratio += run_mesh_experiment(
+                "trust", compromised_fraction=0.4, seed=seed
+            ).delivery_ratio
+        assert trust_ratio > random_ratio * 1.5
+
+    def test_trust_converges_over_time(self):
+        """Averaged over seeds: the learned tail beats the learning head."""
+        early = 0.0
+        late = 0.0
+        for seed in range(6):
+            report = run_mesh_experiment(
+                "trust", rounds=600, compromised_fraction=0.5, seed=seed
+            )
+            history = report.delivery_history
+            early += sum(history[:100]) / 100
+            late += sum(history[-100:]) / 100
+        assert late > early
+
+    def test_all_strategies_tie_with_no_compromise(self):
+        ratios = [
+            run_mesh_experiment(s, compromised_fraction=0.0, seed=3).delivery_ratio
+            for s in ("random", "fixed", "trust")
+        ]
+        assert max(ratios) - min(ratios) < 0.05
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_mesh_experiment("clairvoyant")
+
+    def test_delivery_degrades_as_compromise_grows(self):
+        ratios = [
+            run_mesh_experiment(
+                "trust", compromised_fraction=f, rounds=300, seed=4
+            ).delivery_ratio
+            for f in (0.0, 0.5, 1.0)
+        ]
+        assert ratios[0] > ratios[1] > ratios[2]

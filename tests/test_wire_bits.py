@@ -1,0 +1,164 @@
+"""Unit and property tests for the bit-level reader/writer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wire.bits import (
+    BitReader,
+    BitWriter,
+    ByteOrder,
+    MisalignedReadError,
+    TruncatedDataError,
+)
+
+
+class TestBitWriter:
+    def test_single_byte_from_two_nibbles(self):
+        writer = BitWriter()
+        writer.write_uint(4, 4)
+        writer.write_uint(5, 4)
+        assert writer.getvalue() == b"\x45"
+
+    def test_msb_first_within_byte(self):
+        writer = BitWriter()
+        writer.write_bool(True)
+        writer.write_uint(0, 7)
+        assert writer.getvalue() == b"\x80"
+
+    def test_multibyte_big_endian(self):
+        writer = BitWriter()
+        writer.write_uint(0xABCD, 16)
+        assert writer.getvalue() == b"\xab\xcd"
+
+    def test_little_endian_whole_bytes(self):
+        writer = BitWriter()
+        writer.write_uint(0xABCD, 16, ByteOrder.LITTLE)
+        assert writer.getvalue() == b"\xcd\xab"
+
+    def test_little_endian_rejects_sub_byte_width(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError, match="whole bytes"):
+            writer.write_uint(1, 4, ByteOrder.LITTLE)
+
+    def test_value_too_large_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError, match="does not fit"):
+            writer.write_uint(256, 8)
+
+    def test_negative_value_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError, match="negative"):
+            writer.write_uint(-1, 8)
+
+    def test_zero_width_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError, match="positive"):
+            writer.write_uint(0, 0)
+
+    def test_write_bytes_unaligned(self):
+        writer = BitWriter()
+        writer.write_uint(0xF, 4)
+        writer.write_bytes(b"\xab")
+        writer.pad_to_byte()
+        assert writer.getvalue() == b"\xfa\xb0"
+
+    def test_pad_to_byte_idempotent_when_aligned(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\x01")
+        writer.pad_to_byte()
+        assert writer.getvalue() == b"\x01"
+
+    def test_bit_length_tracks_partial_bytes(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        writer.write_uint(1, 3)
+        assert writer.bit_length == 3
+        assert not writer.is_byte_aligned
+        writer.write_uint(1, 5)
+        assert writer.bit_length == 8
+        assert writer.is_byte_aligned
+
+
+class TestBitReader:
+    def test_reads_back_nibbles(self):
+        reader = BitReader(b"\x45")
+        assert reader.read_uint(4) == 4
+        assert reader.read_uint(4) == 5
+        assert reader.at_end
+
+    def test_truncation_raises_with_counts(self):
+        reader = BitReader(b"\x01")
+        with pytest.raises(TruncatedDataError) as excinfo:
+            reader.read_uint(16)
+        assert excinfo.value.requested_bits == 16
+        assert excinfo.value.available_bits == 8
+
+    def test_read_bytes_fast_path_aligned(self):
+        reader = BitReader(b"abcdef")
+        assert reader.read_bytes(3) == b"abc"
+        assert reader.read_bytes(3) == b"def"
+
+    def test_read_bytes_unaligned(self):
+        reader = BitReader(b"\xfa\xb0")
+        assert reader.read_uint(4) == 0xF
+        assert reader.read_bytes(1) == b"\xab"
+
+    def test_read_remaining_requires_alignment(self):
+        reader = BitReader(b"\xff\x00")
+        reader.read_uint(3)
+        with pytest.raises(MisalignedReadError):
+            reader.read_remaining()
+
+    def test_read_remaining_consumes_everything(self):
+        reader = BitReader(b"\x01\x02\x03")
+        reader.read_bytes(1)
+        assert reader.read_remaining() == b"\x02\x03"
+        assert reader.at_end
+
+    def test_skip_to_byte(self):
+        reader = BitReader(b"\xff\x41")
+        reader.read_uint(3)
+        reader.skip_to_byte()
+        assert reader.read_bytes(1) == b"\x41"
+
+    def test_little_endian_round_trip(self):
+        reader = BitReader(b"\xcd\xab")
+        assert reader.read_uint(16, ByteOrder.LITTLE) == 0xABCD
+
+    def test_read_bool(self):
+        reader = BitReader(b"\x80")
+        assert reader.read_bool() is True
+        assert reader.read_bool() is False
+
+
+class TestRoundTripProperties:
+    @given(st.lists(st.tuples(st.integers(1, 64), st.integers(min_value=0)), min_size=1, max_size=20))
+    def test_uint_sequences_round_trip(self, specs):
+        fields = [(bits, value % (1 << bits)) for bits, value in specs]
+        writer = BitWriter()
+        for bits, value in fields:
+            writer.write_uint(value, bits)
+        writer.pad_to_byte()
+        reader = BitReader(writer.getvalue())
+        for bits, value in fields:
+            assert reader.read_uint(bits) == value
+
+    @given(st.binary(max_size=64), st.integers(0, 7))
+    def test_bytes_survive_arbitrary_bit_prefix(self, payload, prefix_bits):
+        writer = BitWriter()
+        if prefix_bits:
+            writer.write_uint(0, prefix_bits)
+        writer.write_bytes(payload)
+        writer.pad_to_byte()
+        reader = BitReader(writer.getvalue())
+        if prefix_bits:
+            reader.read_uint(prefix_bits)
+        assert reader.read_bytes(len(payload)) == payload
+
+    @given(st.binary(max_size=128))
+    def test_writer_reader_identity_on_bytes(self, payload):
+        writer = BitWriter()
+        writer.write_bytes(payload)
+        assert writer.getvalue() == payload
+        reader = BitReader(payload)
+        assert reader.read_remaining() == payload

@@ -1,0 +1,114 @@
+"""Checksum algorithms against published test vectors and basic laws."""
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wire.checksums import (
+    CHECKSUM_ALGORITHMS,
+    adler32,
+    crc16_ccitt,
+    crc32,
+    fletcher16,
+    internet_checksum,
+    register_algorithm,
+    xor8,
+)
+
+
+class TestXor8:
+    def test_empty_is_zero(self):
+        assert xor8(b"") == 0
+
+    def test_single_byte_is_itself(self):
+        assert xor8(b"\x5a") == 0x5A
+
+    def test_self_inverse(self):
+        assert xor8(b"\x12\x34\x12\x34") == 0
+
+    @given(st.binary(max_size=64))
+    def test_order_independent(self, data):
+        assert xor8(data) == xor8(bytes(reversed(data)))
+
+
+class TestInternetChecksum:
+    def test_rfc1071_style_example(self):
+        # Sum of 0x0001 and 0xf203 and 0xf4f5 and 0xf6f7 per RFC 1071 §3.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        total = (0x0001 + 0xF203 + 0xF4F5 + 0xF6F7)
+        total = (total & 0xFFFF) + (total >> 16)
+        assert internet_checksum(data) == (~total & 0xFFFF)
+
+    def test_ipv4_wikipedia_example(self):
+        # The widely used example header: checksum field zeroed.
+        header = bytes.fromhex("45000073000040004011" + "0000" + "c0a80001c0a800c7")
+        assert internet_checksum(header) == 0xB861
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verification_property(self):
+        # A packet with its correct checksum inserted sums to zero.
+        data = b"hello protocol"
+        checksum = internet_checksum(data)
+        total = internet_checksum(data + checksum.to_bytes(2, "big"))
+        assert total == 0
+
+
+class TestFletcher16:
+    def test_known_vector_abcde(self):
+        # Classic test vector: "abcde" -> 0xC8F0.
+        assert fletcher16(b"abcde") == 0xC8F0
+
+    def test_known_vector_abcdef(self):
+        assert fletcher16(b"abcdef") == 0x2057
+
+    def test_detects_transposition(self):
+        assert fletcher16(b"ab") != fletcher16(b"ba")
+
+
+class TestCrc:
+    def test_crc16_ccitt_check_value(self):
+        # The standard check input "123456789" -> 0x29B1 for CCITT-FALSE.
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_crc32_matches_zlib(self):
+        for data in (b"", b"a", b"123456789", b"the quick brown fox"):
+            assert crc32(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_crc32_check_value(self):
+        assert crc32(b"123456789") == 0xCBF43926
+
+
+class TestAdler32:
+    def test_matches_zlib(self):
+        for data in (b"", b"Wikipedia", b"123456789", bytes(range(256))):
+            assert adler32(data) == zlib.adler32(data) & 0xFFFFFFFF
+
+
+class TestRegistry:
+    def test_all_algorithms_present(self):
+        assert {
+            "xor8",
+            "internet",
+            "fletcher16",
+            "crc16-ccitt",
+            "crc32",
+            "adler32",
+        } <= set(CHECKSUM_ALGORITHMS)
+
+    def test_declared_widths_bound_outputs(self):
+        data = b"width check payload"
+        for algorithm in CHECKSUM_ALGORITHMS.values():
+            assert 0 <= algorithm.compute(data) < (1 << algorithm.bits)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("xor8", 8, xor8)
+
+    def test_custom_registration(self):
+        name = "test-sum8"
+        if name not in CHECKSUM_ALGORITHMS:
+            register_algorithm(name, 8, lambda data: sum(data) & 0xFF)
+        assert CHECKSUM_ALGORITHMS[name].compute(b"\x01\x02") == 3

@@ -11,6 +11,11 @@ Package map
     The DSL: packet specs, verified values, typed state machines, the
     machine runtime, the definition-time checker, ASCII/ABNF exporters and
     the code generator.
+``repro.obs``
+    Unified observability: labeled metrics (counters, gauges, log-bucket
+    histograms), a ring-buffered span/event tracer on dual wall/virtual
+    timelines, ``@profiled`` hooks, and a text dashboard + JSON export.
+    Disabled by default; ``repro.obs.enable()`` switches the process on.
 ``repro.wire``
     Bit-level I/O and checksum algorithms.
 ``repro.netsim``

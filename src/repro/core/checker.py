@@ -17,11 +17,13 @@ configuration space.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, List, Set
+from typing import Any, List, Optional, Set
 
 from repro.core.statemachine import MachineSpec, StatePattern, TransitionSpec
 from repro.core.symbolic import Const, Var
+from repro.obs.instrument import Instrumentation, get_default
 
 
 @dataclass
@@ -43,9 +45,7 @@ class CheckReport:
         return not self.errors
 
 
-def check_machine(spec: MachineSpec) -> CheckReport:
-    """Run every definition-time check against ``spec``."""
-    report = CheckReport(spec.name)
+def _run_passes(spec: MachineSpec, report: CheckReport) -> None:
     _check_initial_states(spec, report)
     for transition in spec.transitions:
         _check_transition_soundness(spec, transition, report)
@@ -53,6 +53,52 @@ def check_machine(spec: MachineSpec) -> CheckReport:
     _check_reachability(spec, report)
     _check_no_dead_states(spec, report)
     _check_event_completeness(spec, report)
+
+
+def check_machine(
+    spec: MachineSpec, obs: Optional[Instrumentation] = None
+) -> CheckReport:
+    """Run every definition-time check against ``spec``.
+
+    ``obs`` (default: the process-wide instrumentation) records, when
+    enabled, per-pass timing histograms (so E4-style "what does checking
+    cost" questions can be answered per pass), checked/rejected machine
+    counters, and error/warning counts.
+    """
+    if obs is None:
+        obs = get_default()
+    report = CheckReport(spec.name)
+    if not obs.enabled:
+        _run_passes(spec, report)
+        return report
+    registry = obs.registry
+
+    def timed(pass_name: str, run_pass) -> None:
+        start = time.perf_counter()
+        run_pass()
+        registry.histogram("checker.pass_seconds", check=pass_name).observe(
+            time.perf_counter() - start
+        )
+
+    def soundness() -> None:
+        for transition in spec.transitions:
+            _check_transition_soundness(spec, transition, report)
+
+    with obs.tracer.span("check_machine", machine=spec.name) as span:
+        timed("initial_states", lambda: _check_initial_states(spec, report))
+        timed("transition_soundness", soundness)
+        timed("final_states", lambda: _check_final_state_consistency(spec, report))
+        timed("reachability", lambda: _check_reachability(spec, report))
+        timed("dead_states", lambda: _check_no_dead_states(spec, report))
+        timed("event_completeness", lambda: _check_event_completeness(spec, report))
+        span.set_attr("errors", len(report.errors))
+        span.set_attr("warnings", len(report.warnings))
+    registry.counter("checker.machines_checked").inc()
+    if report.errors:
+        registry.counter("checker.machines_rejected", machine=spec.name).inc()
+        registry.counter("checker.errors").inc(len(report.errors))
+    if report.warnings:
+        registry.counter("checker.warnings").inc(len(report.warnings))
     return report
 
 

@@ -18,9 +18,11 @@ dependent records.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Tuple
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.fields import ChecksumField, Field, FieldValueError
+from repro.obs.instrument import Instrumentation, get_default
 from repro.wire.bits import BitReader, BitWriter
 
 
@@ -99,10 +101,34 @@ def _encode_fields(
     return writer.getvalue(), spans
 
 
-def encode_verbatim(spec: Any, values: Mapping[str, Any]) -> bytes:
-    """Encode a complete value environment exactly as given."""
+def encode_verbatim(
+    spec: Any, values: Mapping[str, Any], obs: Optional[Instrumentation] = None
+) -> bytes:
+    """Encode a complete value environment exactly as given.
+
+    ``obs`` (default: the process-wide instrumentation) records, when
+    enabled, an encode-latency histogram and bytes/packets counters
+    labeled by spec.
+    """
+    if obs is None:
+        obs = get_default()
+    if not obs.enabled:
+        encoded, _ = _encode_fields(spec, values)
+        return encoded
+    start = time.perf_counter()
     encoded, _ = _encode_fields(spec, values)
+    _record_codec(obs, "encode", spec.name, len(encoded), time.perf_counter() - start)
     return encoded
+
+
+def _record_codec(
+    obs: Instrumentation, op: str, spec_name: str, size: int, elapsed: float
+) -> None:
+    """Shared metric updates for one successful encode/decode."""
+    registry = obs.registry
+    registry.histogram(f"codec.{op}_seconds", spec=spec_name).observe(elapsed)
+    registry.counter(f"codec.{op}d_packets", spec=spec_name).inc()
+    registry.counter(f"codec.{op}d_bytes", spec=spec_name).inc(size)
 
 
 def checksum_cover(
@@ -166,12 +192,35 @@ def compute_one_checksum(spec: Any, values: Mapping[str, Any], field_name: str) 
     return field.compute(cover)
 
 
-def decode_packet(spec: Any, data: bytes) -> Dict[str, Any]:
+def decode_packet(
+    spec: Any, data: bytes, obs: Optional[Instrumentation] = None
+) -> Dict[str, Any]:
     """Decode bytes into a value environment under ``spec``.
 
     Raises :class:`DecodeError` on truncation and
     :class:`ExtraDataError` when trailing bits remain.
+
+    ``obs`` (default: the process-wide instrumentation) records, when
+    enabled, a decode-latency histogram, bytes/packets counters, and a
+    :class:`DecodeError` counter labeled by spec and error kind.
     """
+    if obs is None:
+        obs = get_default()
+    if not obs.enabled:
+        return _decode_fields(spec, data)
+    start = time.perf_counter()
+    try:
+        values = _decode_fields(spec, data)
+    except DecodeError as exc:
+        obs.registry.counter(
+            "codec.decode_errors", spec=spec.name, kind=type(exc).__name__
+        ).inc()
+        raise
+    _record_codec(obs, "decode", spec.name, len(data), time.perf_counter() - start)
+    return values
+
+
+def _decode_fields(spec: Any, data: bytes) -> Dict[str, Any]:
     reader = BitReader(data)
     values: Dict[str, Any] = {}
     env: Dict[str, int] = {}

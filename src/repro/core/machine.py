@@ -29,9 +29,11 @@ first line being the sealed spec).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.codec import encode_verbatim
 from repro.core.statemachine import (
     MachineSpec,
     MachineSpecError,
@@ -40,15 +42,29 @@ from repro.core.statemachine import (
 )
 from repro.core.symbolic import UnificationError
 from repro.core.verified import Verified
+from repro.obs.instrument import NULL_OBS, Instrumentation, get_default
+from repro.obs.trace import frame_digest
 
 
 class InvalidTransitionError(RuntimeError):
-    """Raised when a transition cannot legally execute from the current state."""
+    """Raised when a transition cannot legally execute from the current state.
 
-    def __init__(self, machine_name: str, transition_name: str, reason: str) -> None:
+    ``code`` is a low-cardinality rejection category (``unknown_transition``,
+    ``dispatch``, ``inputs``, ``evidence``, ``payload``, ``guard``, ``state``)
+    used to label the observability counters; ``reason`` stays free text.
+    """
+
+    def __init__(
+        self,
+        machine_name: str,
+        transition_name: str,
+        reason: str,
+        code: str = "invalid",
+    ) -> None:
         self.machine_name = machine_name
         self.transition_name = transition_name
         self.reason = reason
+        self.code = code
         super().__init__(
             f"machine {machine_name!r}: cannot execute {transition_name!r}: {reason}"
         )
@@ -56,6 +72,15 @@ class InvalidTransitionError(RuntimeError):
 
 class UnverifiedPayloadError(InvalidTransitionError):
     """Raised when a transition demanding verified data receives raw data."""
+
+    def __init__(
+        self,
+        machine_name: str,
+        transition_name: str,
+        reason: str,
+        code: str = "evidence",
+    ) -> None:
+        super().__init__(machine_name, transition_name, reason, code=code)
 
 
 @dataclass(frozen=True)
@@ -90,6 +115,12 @@ class Machine:
         Arbitrary user data carried by the machine (e.g. the send queue in
         the ARQ example — the paper's ``sendMachine`` carries the list of
         data to be transmitted).
+    obs:
+        An :class:`~repro.obs.Instrumentation` context; defaults to the
+        process-wide one (disabled unless ``repro.obs.enable()`` ran).
+        When enabled, every execution records an ``exec_trans`` span with
+        dispatch/evidence/guard/step child spans, a latency histogram, and
+        executed/rejected counters labeled by machine and reason.
     """
 
     def __init__(
@@ -97,6 +128,7 @@ class Machine:
         spec: MachineSpec,
         initial: Optional[StateInstance] = None,
         context: Any = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if not spec.sealed:
             raise MachineSpecError(
@@ -116,6 +148,7 @@ class Machine:
         self.context = context
         self._trace: List[TraceStep] = []
         self._observers: List[Observer] = []
+        self._obs = obs if obs is not None else get_default()
 
     # -- inspection ---------------------------------------------------------
 
@@ -165,6 +198,7 @@ class Machine:
                 self.spec.name,
                 "<expect_state>",
                 f"expected state {state_name!r}, in {self._current!r}",
+                code="state",
             )
         actual = self._current.bindings()
         for name, value in params.items():
@@ -173,6 +207,7 @@ class Machine:
                     self.spec.name,
                     "<expect_state>",
                     f"expected {name}={value}, got {name}={actual.get(name)!r}",
+                    code="state",
                 )
 
     # -- observation ---------------------------------------------------------
@@ -195,17 +230,100 @@ class Machine:
         transition does not exist, does not match the current state, lacks
         required evidence or inputs, or fails its guard.
         """
+        obs = self._obs
+        if obs.enabled:
+            return self._exec_trans_observed(obs, transition_name, payload, inputs)
+        return self._execute(self._lookup(transition_name), payload, inputs)
+
+    def _lookup(self, transition_name: str) -> TransitionSpec:
         try:
-            transition = self.spec.transition_named(transition_name)
+            return self.spec.transition_named(transition_name)
         except KeyError:
             raise InvalidTransitionError(
-                self.spec.name, transition_name, "no such transition"
+                self.spec.name,
+                transition_name,
+                "no such transition",
+                code="unknown_transition",
             ) from None
-        return self._execute(transition, payload, inputs)
 
     def _execute(
         self, transition: TransitionSpec, payload: Any, inputs: Dict[str, int]
     ) -> StateInstance:
+        bindings = self._dispatch(transition, inputs)
+        self._check_payload(transition, payload)
+        self._check_guard(transition, bindings, payload)
+        return self._step(transition, bindings, payload)
+
+    def _exec_trans_observed(
+        self,
+        obs: Instrumentation,
+        transition_name: str,
+        payload: Any,
+        inputs: Dict[str, int],
+    ) -> StateInstance:
+        """The same four phases as :meth:`_execute`, under the tracer.
+
+        Records an ``exec_trans`` span with one child span per phase, an
+        execution-latency histogram, and executed/rejected counters (the
+        rejection reason is the exception's ``code``).
+        """
+        tracer = obs.tracer
+        registry = obs.registry
+        start = time.perf_counter()
+        try:
+            with tracer.span(
+                "exec_trans", machine=self.spec.name, transition=transition_name
+            ) as span:
+                if isinstance(payload, (bytes, bytearray)):
+                    span.set_attr("payload_digest", frame_digest(payload))
+                    span.set_attr("payload_len", len(payload))
+                elif isinstance(payload, Verified):
+                    span.set_attr("payload_spec", payload.certificate.spec_name)
+                    value = payload.value
+                    if hasattr(value, "spec") and hasattr(value, "_values"):
+                        # Encoding is verbatim, so re-encoding recovers the
+                        # exact wire frame this evidence was parsed from —
+                        # the digest joins this span to capture records.
+                        span.set_attr(
+                            "payload_digest",
+                            frame_digest(
+                                encode_verbatim(value.spec, value._values, obs=NULL_OBS)
+                            ),
+                        )
+                transition = self._lookup(transition_name)
+                with tracer.span("dispatch"):
+                    bindings = self._dispatch(transition, inputs)
+                span.set_attr("bindings", dict(sorted(bindings.items())))
+                with tracer.span("evidence"):
+                    self._check_payload(transition, payload)
+                with tracer.span("guard"):
+                    self._check_guard(transition, bindings, payload)
+                with tracer.span("step"):
+                    target = self._step(transition, bindings, payload)
+                span.set_attr("target", repr(target))
+        except InvalidTransitionError as exc:
+            registry.counter(
+                "machine.transitions_rejected",
+                machine=self.spec.name,
+                transition=transition_name,
+                reason=exc.code,
+            ).inc()
+            raise
+        registry.counter(
+            "machine.transitions_executed",
+            machine=self.spec.name,
+            transition=transition_name,
+        ).inc()
+        registry.histogram(
+            "machine.exec_seconds", machine=self.spec.name
+        ).observe(time.perf_counter() - start)
+        return target
+
+    # -- the four phases (see module docstring) ---------------------------
+
+    def _dispatch(
+        self, transition: TransitionSpec, inputs: Dict[str, int]
+    ) -> Dict[str, int]:
         try:
             bindings = transition.source.match(self._current)
         except UnificationError as exc:
@@ -214,6 +332,7 @@ class Machine:
                 transition.name,
                 f"current state {self._current!r} does not match source "
                 f"pattern {transition.source!r} ({exc})",
+                code="dispatch",
             ) from None
         if set(inputs) != set(transition.inputs):
             raise InvalidTransitionError(
@@ -221,6 +340,7 @@ class Machine:
                 transition.name,
                 f"transition declares inputs {sorted(transition.inputs)}, "
                 f"got {sorted(inputs)}",
+                code="inputs",
             )
         for input_name, input_value in inputs.items():
             if not isinstance(input_value, int) or isinstance(input_value, bool):
@@ -228,13 +348,22 @@ class Machine:
                     self.spec.name,
                     transition.name,
                     f"input {input_name!r} must be an int, got {input_value!r}",
+                    code="inputs",
                 )
             bindings[input_name] = input_value
-        self._check_payload(transition, payload)
+        return bindings
+
+    def _check_guard(
+        self, transition: TransitionSpec, bindings: Dict[str, int], payload: Any
+    ) -> None:
         if not transition.guard_holds(bindings, payload):
             raise InvalidTransitionError(
-                self.spec.name, transition.name, "guard predicate failed"
+                self.spec.name, transition.name, "guard predicate failed", code="guard"
             )
+
+    def _step(
+        self, transition: TransitionSpec, bindings: Dict[str, int], payload: Any
+    ) -> StateInstance:
         target = transition.target.instantiate(bindings)
         step = TraceStep(
             transition=transition.name,
@@ -256,6 +385,7 @@ class Machine:
                     self.spec.name,
                     transition.name,
                     "transition takes no payload but one was supplied",
+                    code="payload",
                 )
             return
         if requires == "bytes":
@@ -264,6 +394,7 @@ class Machine:
                     self.spec.name,
                     transition.name,
                     f"transition requires a byte payload, got {type(payload).__name__}",
+                    code="payload",
                 )
             return
         # requires is a PacketSpec: demand verified evidence of that spec.

@@ -15,9 +15,10 @@ exactly as they do to the receiver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.netsim.channel import Channel
+from repro.obs.trace import SpanRecord, Tracer, frame_digest
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,11 @@ class CapturedFrame:
     data: bytes
     index: int
 
+    @property
+    def digest(self) -> str:
+        """Stable short digest; joins this frame to machine trace spans."""
+        return frame_digest(self.data)
+
 
 class Capture:
     """Records frames entering one or more channels.
@@ -38,10 +44,19 @@ class Capture:
     specs:
         Packet specs used (in order) to decode frames for rendering;
         the first spec that parses *and verifies* a frame names it.
+    tracer:
+        An optional :class:`~repro.obs.Tracer`.  When given, every
+        captured frame also lands on the shared trace timeline as a
+        ``capture.frame`` event (virtual-time stamped, digest attached),
+        so channel captures and machine ``exec_trans`` spans can be
+        correlated — see :meth:`correlate`.
     """
 
-    def __init__(self, specs: Sequence[Any] = ()) -> None:
+    def __init__(
+        self, specs: Sequence[Any] = (), tracer: Optional[Tracer] = None
+    ) -> None:
         self.specs = list(specs)
+        self.tracer = tracer
         self.frames: List[CapturedFrame] = []
         self._taps: List[Tuple[Channel, Any]] = []
 
@@ -55,18 +70,62 @@ class Capture:
         original_send = channel.send
 
         def tapped(frame: bytes) -> None:
-            self.frames.append(
-                CapturedFrame(
-                    time=channel.sim.now,
-                    channel_name=channel.name,
-                    data=bytes(frame),
-                    index=len(self.frames),
-                )
+            captured = CapturedFrame(
+                time=channel.sim.now,
+                channel_name=channel.name,
+                data=bytes(frame),
+                index=len(self.frames),
             )
+            self.frames.append(captured)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "capture.frame",
+                    virt=captured.time,
+                    channel=captured.channel_name,
+                    index=captured.index,
+                    size=len(captured.data),
+                    digest=captured.digest,
+                )
             original_send(frame)
 
         channel.send = tapped
         self._taps.append((channel, original_send))
+
+    def correlate(
+        self, tracer: Optional[Tracer] = None
+    ) -> List[Tuple[CapturedFrame, SpanRecord]]:
+        """Join captured frames to the ``exec_trans`` spans that consumed them.
+
+        A sender's frame crosses the wire, parses into a ``Verified``
+        packet, and feeds a machine transition; this method reconstructs
+        that link.  Machine spans carry a ``payload_digest`` for both
+        raw-byte payloads (e.g. the ARQ sender's SEND) and verified
+        packets (e.g. RECV — encoding is verbatim, so the receiver's
+        packet re-encodes to exactly the sender's frame).  A frame matches
+        the first such span with the same digest that did not start
+        before the frame entered the channel (in virtual time).
+
+        Returns ``(frame, span)`` pairs in frame order; frames that were
+        lost or corrupted in flight match nothing.
+        """
+        tracer = tracer if tracer is not None else self.tracer
+        if tracer is None:
+            raise ValueError("correlate() needs a tracer (none was attached)")
+        spans_by_digest: Dict[str, List[SpanRecord]] = {}
+        for record in tracer.records():
+            if record.name != "exec_trans" or "error" in record.attrs:
+                continue
+            digest = record.attrs.get("payload_digest")
+            if digest is not None:
+                spans_by_digest.setdefault(digest, []).append(record)
+        pairs: List[Tuple[CapturedFrame, SpanRecord]] = []
+        for frame in self.frames:
+            for span in spans_by_digest.get(frame.digest, ()):
+                starts = span.virt_start
+                if starts is None or starts >= frame.time:
+                    pairs.append((frame, span))
+                    break
+        return pairs
 
     def untap_all(self) -> None:
         """Restore every tapped channel's original send."""

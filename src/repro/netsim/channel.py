@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.netsim.simulator import Simulator
+from repro.obs.instrument import Instrumentation
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,12 @@ class Channel:
     deliver:
         Callback receiving each delivered frame (possibly corrupted).
         May be set later via :meth:`connect`.
+    obs:
+        An :class:`~repro.obs.Instrumentation` context; defaults to the
+        simulator's.  When enabled, every fate a frame can meet (sent,
+        dropped, corrupted, duplicated, reordered, delivered) increments a
+        ``channel.frames`` counter labeled by channel name, alongside the
+        local :class:`ChannelStats`.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class Channel:
         rng: random.Random,
         deliver: Optional[Callable[[bytes], None]] = None,
         name: str = "channel",
+        obs: Optional["Instrumentation"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -105,6 +113,15 @@ class Channel:
         self.name = name
         self._deliver = deliver
         self.stats = ChannelStats()
+        self.obs = obs if obs is not None else sim.obs
+
+    def _count(self, fate: str, nbytes: Optional[int] = None) -> None:
+        """One frame met ``fate``; mirror it into the metrics registry."""
+        self.obs.registry.counter("channel.frames", channel=self.name, fate=fate).inc()
+        if nbytes is not None:
+            self.obs.registry.counter(
+                "channel.bytes", channel=self.name, fate=fate
+            ).inc(nbytes)
 
     def connect(self, deliver: Callable[[bytes], None]) -> None:
         """Attach (or replace) the receive callback."""
@@ -117,27 +134,39 @@ class Channel:
         if not isinstance(frame, (bytes, bytearray)):
             raise TypeError(f"frames must be bytes, got {type(frame).__name__}")
         frame = bytes(frame)
+        observing = self.obs.enabled
         self.stats.sent += 1
         self.stats.bytes_sent += len(frame)
+        if observing:
+            self._count("sent", len(frame))
         if self.rng.random() < self.config.loss_rate:
             self.stats.dropped += 1
+            if observing:
+                self._count("dropped", len(frame))
             return
         copies = 1
         if self.rng.random() < self.config.duplication_rate:
             copies = 2
             self.stats.duplicated += 1
+            if observing:
+                self._count("duplicated")
         for _ in range(copies):
             self._schedule_delivery(frame)
 
     def _schedule_delivery(self, frame: bytes) -> None:
         payload = frame
+        observing = self.obs.enabled
         if self.rng.random() < self.config.corruption_rate and frame:
             payload = self._flip_random_bit(frame)
             self.stats.corrupted += 1
+            if observing:
+                self._count("corrupted")
         delay = self.config.delay + self.rng.uniform(0.0, self.config.jitter)
         if self.rng.random() < self.config.reorder_rate:
             delay += self.config.reorder_delay
             self.stats.reordered += 1
+            if observing:
+                self._count("reordered")
         self.sim.schedule(delay, lambda: self._deliver_now(payload))
 
     def _flip_random_bit(self, frame: bytes) -> bytes:
@@ -149,6 +178,8 @@ class Channel:
     def _deliver_now(self, frame: bytes) -> None:
         self.stats.delivered += 1
         self.stats.bytes_delivered += len(frame)
+        if self.obs.enabled:
+            self._count("delivered", len(frame))
         self._deliver(frame)
 
     def __repr__(self) -> str:

@@ -4,6 +4,17 @@ Deterministic by construction: events at equal times fire in scheduling
 order (a monotonically increasing tie-breaker), and all randomness in the
 wider simulator flows from explicitly seeded ``random.Random`` instances —
 never the global RNG.
+
+Cancelled events stay in the heap, inert, until their position surfaces —
+cancellation is O(1) and the heap never needs re-sifting.  The simulator
+accounts for them precisely: a skipped tombstone is never counted as a
+processed event, never consumes a ``max_events`` budget slot, and
+:attr:`Simulator.events_pending` (live events only) stays O(1) to read.
+
+When built with an enabled :class:`~repro.obs.Instrumentation`, the
+simulator counts events scheduled/fired/cancelled/skipped, keeps an
+``sim.events_pending`` gauge, and attaches its virtual clock to the
+tracer so every trace record carries simulated time.
 """
 
 from __future__ import annotations
@@ -11,6 +22,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
+
+from repro.obs.instrument import Instrumentation, get_default
 
 
 @dataclass(order=True)
@@ -21,14 +34,31 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    _sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the heap, inert)."""
+        """Prevent the event from firing (it stays in the heap, inert).
+
+        Cancelling an event that already fired, or twice, is a no-op — the
+        owning simulator's live-event accounting stays exact either way.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
 
 
 class Simulator:
     """A single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    obs:
+        An :class:`~repro.obs.Instrumentation` context; defaults to the
+        process-wide one.  Channels and timers built on this simulator
+        report into the same context.
 
     Example
     -------
@@ -40,11 +70,17 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Instrumentation] = None) -> None:
         self._heap: List[Event] = []
         self._now = 0.0
         self._sequence = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self.obs = obs if obs is not None else get_default()
+        if self.obs.enabled:
+            # Latest simulator wins the tracer's virtual clock: trace
+            # records are stamped with this sim's time from here on.
+            self.obs.tracer.virtual_clock = lambda: self._now
 
     @property
     def now(self) -> float:
@@ -53,13 +89,18 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total events executed so far."""
+        """Total events executed so far (cancelled events never count)."""
         return self._events_processed
 
     @property
     def pending(self) -> int:
-        """Events scheduled but not yet fired (including cancelled ones)."""
+        """Events still in the heap (including cancelled tombstones)."""
         return len(self._heap)
+
+    @property
+    def events_pending(self) -> int:
+        """Events scheduled and still due to fire (cancelled ones excluded)."""
+        return len(self._heap) - self._cancelled_pending
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -73,22 +114,55 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        event = Event(time, self._sequence, callback)
+        event = Event(time, self._sequence, callback, _sim=self)
         self._sequence += 1
         heapq.heappush(self._heap, event)
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter("sim.events_scheduled").inc()
+            obs.registry.gauge("sim.events_pending").set(self.events_pending)
         return event
 
-    def step(self) -> bool:
-        """Run the next event; returns False when the heap is empty."""
+    def _on_cancel(self) -> None:
+        """Bookkeeping hook invoked by :meth:`Event.cancel`."""
+        self._cancelled_pending += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter("sim.events_cancelled").inc()
+            obs.registry.gauge("sim.events_pending").set(self.events_pending)
+
+    def _pop_skipping_cancelled(self) -> Optional[Event]:
+        """Pop the next live event, discarding cancelled tombstones.
+
+        Skipped tombstones are not processed events: they advance neither
+        the clock nor :attr:`events_processed`, and callers must not let
+        them consume execution budgets.
+        """
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
+                obs = self.obs
+                if obs.enabled:
+                    obs.registry.counter("sim.events_skipped").inc()
                 continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback()
-            return True
-        return False
+            return event
+        return None
+
+    def step(self) -> bool:
+        """Run the next live event; returns False when none remain."""
+        event = self._pop_skipping_cancelled()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.fired = True
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter("sim.events_fired").inc()
+            obs.registry.gauge("sim.events_pending").set(self.events_pending)
+        event.callback()
+        return True
 
     def run(
         self,
@@ -99,8 +173,9 @@ class Simulator:
 
         ``until`` is an absolute virtual time; events scheduled later stay
         queued and the clock advances to ``until`` exactly.  ``max_events``
-        bounds execution for safety against runaway protocols (the
-        bug-seeded baselines in the correctness experiments rely on this).
+        bounds *executed* events for safety against runaway protocols (the
+        bug-seeded baselines in the correctness experiments rely on this);
+        cancelled events skipped along the way do not consume the budget.
         """
         executed = 0
         while self._heap:
@@ -109,6 +184,9 @@ class Simulator:
             upcoming = self._heap[0]
             if upcoming.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_pending -= 1
+                if self.obs.enabled:
+                    self.obs.registry.counter("sim.events_skipped").inc()
                 continue
             if until is not None and upcoming.time > until:
                 self._now = until

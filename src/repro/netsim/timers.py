@@ -37,6 +37,8 @@ class Timer:
         self._event: Optional[Event] = None
         self.expirations = 0
         self.starts = 0
+        self.cancels = 0
+        self.obs = sim.obs
 
     @property
     def running(self) -> bool:
@@ -58,6 +60,8 @@ class Timer:
             self.duration = duration
         self.stop()
         self.starts += 1
+        if self.obs.enabled:
+            self.obs.registry.counter("timer.started", timer=self.name).inc()
         self._event = self.sim.schedule(self.duration, self._fire)
 
     def stop(self) -> None:
@@ -65,10 +69,17 @@ class Timer:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+            self.cancels += 1
+            if self.obs.enabled:
+                self.obs.registry.counter("timer.cancelled", timer=self.name).inc()
 
     def _fire(self) -> None:
         self._event = None
         self.expirations += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter("timer.fired", timer=self.name).inc()
+            obs.tracer.event("timer.fire", timer=self.name)
         self.callback()
 
     def __repr__(self) -> str:

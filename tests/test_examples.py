@@ -22,13 +22,22 @@ EXPECTED_MARKERS = {
     "untrusted_relay_mesh.py": ["COMPROMISED", "delivery"],
     "verify_arq_pair.py": ["VERIFIED", "livelock"],
     "inline_testing.py": ["all passed", "round-trip mismatch"],
+    "observe_arq.py": ["transfer done=True", "exec_trans", "frame#"],
 }
 
 
 def run_example(name: str) -> str:
+    from repro import obs
+
     buffer = io.StringIO()
-    with contextlib.redirect_stdout(buffer):
-        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    try:
+        with contextlib.redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        # observe_arq.py switches the process-wide instrumentation on;
+        # keep examples isolated from each other and from later tests.
+        obs.get_default().reset()
+        obs.disable()
     return buffer.getvalue()
 
 

@@ -248,3 +248,57 @@ class TestTraceAndObservers:
             [("ACK", None, {"ack": 4}), ("STOP", None, {})],
         )
         assert machine.current == done.instance(5)
+
+
+class TestRejectionCounters:
+    """Rejected transitions land in the right labeled obs counter."""
+
+    def _machine(self):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        return Machine(sender_spec(), obs=instr), instr
+
+    def _rejected(self, instr, transition, reason):
+        return instr.registry.value(
+            "machine.transitions_rejected",
+            machine="sender", transition=transition, reason=reason,
+        )
+
+    def test_unknown_transition_labeled(self):
+        machine, instr = self._machine()
+        with pytest.raises(InvalidTransitionError):
+            machine.exec_trans("NO_SUCH")
+        assert self._rejected(instr, "NO_SUCH", "unknown_transition") == 1
+
+    def test_dispatch_mismatch_labeled(self):
+        machine, instr = self._machine()
+        with pytest.raises(InvalidTransitionError):
+            machine.exec_trans("OK", verified_packet())  # in Ready, not Wait
+        assert self._rejected(instr, "OK", "dispatch") == 1
+
+    def test_missing_evidence_labeled(self):
+        machine, instr = self._machine()
+        machine.exec_trans("SEND", b"x")
+        with pytest.raises(UnverifiedPayloadError):
+            machine.exec_trans("OK", b"raw")
+        assert self._rejected(instr, "OK", "evidence") == 1
+
+    def test_wrong_spec_evidence_labeled(self):
+        machine, instr = self._machine()
+        machine.exec_trans("SEND", b"x")
+        with pytest.raises(UnverifiedPayloadError):
+            machine.exec_trans("OK", OTHER.verify(OTHER.make(x=1)))
+        assert self._rejected(instr, "OK", "evidence") == 1
+
+    def test_executions_counted_alongside(self):
+        machine, instr = self._machine()
+        machine.exec_trans("SEND", b"x")
+        machine.exec_trans("FAIL")
+        assert instr.registry.value(
+            "machine.transitions_executed", machine="sender", transition="SEND"
+        ) == 1
+        assert instr.registry.value(
+            "machine.transitions_executed", machine="sender", transition="FAIL"
+        ) == 1
+        assert machine.current.name == "Ready"

@@ -1,0 +1,100 @@
+"""The observability overhead guard (CI gate).
+
+The contract of ``repro.obs`` is that *instrumented but disabled* code is
+effectively free: the hot paths (``Machine.exec_trans``,
+``codec.decode_packet``) pay roughly one attribute check when the
+injected instrumentation is off.  These tests hold that contract to a
+number: the median runtime with a disabled ``Instrumentation`` must stay
+within 1.10x of the no-op-instrumentation baseline (``NULL_OBS``, the
+permanently-off singleton — the closest runtime stand-in for
+uninstrumented code, since both take the identical fast path).
+
+Medians over interleaved trials keep the comparison robust to scheduler
+noise; the loops are long enough that timer resolution is irrelevant.
+"""
+
+import time
+from statistics import median
+
+from repro.core import codec
+from repro.core.fields import Bytes, ChecksumField, UInt
+from repro.core.machine import Machine
+from repro.core.packet import PacketSpec
+from repro.core.statemachine import MachineSpec, Param
+from repro.core.symbolic import Var, this
+from repro.obs import NULL_OBS, Instrumentation
+
+MAX_OVERHEAD = 1.10
+TRIALS = 9
+TRANSITIONS = 1500
+DECODES = 3000
+
+PKT = PacketSpec(
+    "OverheadPkt",
+    fields=[
+        UInt("seq", bits=8),
+        ChecksumField("chk", algorithm="xor8", over=("seq", "length", "payload")),
+        UInt("length", bits=8),
+        Bytes("payload", length=this.length),
+    ],
+)
+
+
+def _cycle_spec():
+    spec = MachineSpec("overhead")
+    seq = Param("seq", bits=8)
+    ready = spec.state("Ready", params=[seq], initial=True)
+    wait = spec.state("Wait", params=[seq])
+    n = Var("seq")
+    spec.transition("SEND", ready(n), wait(n), requires="bytes")
+    spec.transition("FAIL", wait(n), ready(n))
+    return spec.seal()
+
+
+SPEC = _cycle_spec()
+WIRE = PKT.encode(PKT.make(seq=3, length=4, payload=b"abcd"))
+
+
+def _time_transitions(obs) -> float:
+    machine = Machine(SPEC, obs=obs)
+    exec_trans = machine.exec_trans
+    start = time.perf_counter()
+    for _ in range(TRANSITIONS):
+        exec_trans("SEND", b"x")
+        exec_trans("FAIL")
+    return time.perf_counter() - start
+
+
+def _time_decodes(obs) -> float:
+    start = time.perf_counter()
+    for _ in range(DECODES):
+        codec.decode_packet(PKT, WIRE, obs=obs)
+    return time.perf_counter() - start
+
+
+def _median_ratio(measure) -> float:
+    disabled = Instrumentation(enabled=False)
+    assert disabled.enabled is False and NULL_OBS.enabled is False
+    measure(NULL_OBS)  # warm caches before the first timed trial
+    measure(disabled)
+    baseline_samples, disabled_samples = [], []
+    for _ in range(TRIALS):
+        baseline_samples.append(measure(NULL_OBS))
+        disabled_samples.append(measure(disabled))
+    return median(disabled_samples) / median(baseline_samples)
+
+
+def test_exec_trans_disabled_overhead_within_bound():
+    ratio = _median_ratio(_time_transitions)
+    assert ratio <= MAX_OVERHEAD, (
+        f"instrumented-but-disabled exec_trans is {ratio:.3f}x the no-op "
+        f"baseline (bound {MAX_OVERHEAD}x)"
+    )
+
+
+def test_decode_packet_disabled_overhead_within_bound():
+    ratio = _median_ratio(_time_decodes)
+    assert ratio <= MAX_OVERHEAD, (
+        f"instrumented-but-disabled decode_packet is {ratio:.3f}x the no-op "
+        f"baseline (bound {MAX_OVERHEAD}x)"
+    )

@@ -1,0 +1,60 @@
+"""repro.conformance — every in-tree spec and machine as a test oracle.
+
+The paper argues that protocol specs written in a typed DSL make whole
+failure classes unrepresentable.  This package is the empirical check on
+that claim, three engines over one registry of subjects:
+
+* :mod:`~repro.conformance.mutate` — structure-aware mutation fuzzing of
+  every packet codec, classifying each outcome (declared rejection vs.
+  undeclared crash vs. non-verbatim re-encode);
+* :mod:`~repro.conformance.differential` — the DSL codec against the
+  hand-rolled baseline ARQ codec and DER-vs-PER cross-checks;
+* :mod:`~repro.conformance.machineconf` — runtime machines dual-stepped
+  against the explicit-state model.
+
+Shared infrastructure: coverage accounting on the :mod:`repro.obs`
+metrics registry (which also schedules mutations toward uncovered
+territory), delta-debugging shrinkers, and a replayable JSONL corpus.
+Run it with ``python -m repro.conformance``.
+"""
+
+from repro.conformance.corpus import Corpus, CorpusEntry, load_entries
+from repro.conformance.coverage import CoverageMap
+from repro.conformance.differential import DifferentialEngine
+from repro.conformance.machineconf import MachineConformance
+from repro.conformance.mutate import Finding, MutationFuzzer, classify
+from repro.conformance.registry import (
+    MachineEntry,
+    SpecEntry,
+    all_machine_entries,
+    all_spec_entries,
+)
+from repro.conformance.runner import (
+    ConformanceReport,
+    EngineReport,
+    replay_corpus,
+    run_all,
+)
+from repro.conformance.shrink import shrink_bytes, shrink_sequence
+
+__all__ = [
+    "ConformanceReport",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "DifferentialEngine",
+    "EngineReport",
+    "Finding",
+    "MachineConformance",
+    "MachineEntry",
+    "MutationFuzzer",
+    "SpecEntry",
+    "all_machine_entries",
+    "all_spec_entries",
+    "classify",
+    "load_entries",
+    "replay_corpus",
+    "run_all",
+    "shrink_bytes",
+    "shrink_sequence",
+]

@@ -1,0 +1,100 @@
+"""``python -m repro.conformance`` — the correctness gate as a command.
+
+Examples::
+
+    python -m repro.conformance --seed 0 --budget 2000
+    python -m repro.conformance --engines fuzz --specs ArqData --json
+    python -m repro.conformance --corpus out/corpus.jsonl
+    python -m repro.conformance --replay out/corpus.jsonl
+
+Exit status 0 means every engine ran clean (or every replayed entry
+still reproduces); 1 means findings (or replay drift).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.conformance.runner import ENGINES, replay_corpus, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description=(
+            "Coverage-guided fuzzing, differential testing, and "
+            "state-machine conformance over every in-tree spec."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="deterministic run seed")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=2000,
+        help="case budget per engine (default: 2000)",
+    )
+    parser.add_argument(
+        "--engines",
+        nargs="+",
+        choices=ENGINES,
+        default=list(ENGINES),
+        help="engines to run (default: all)",
+    )
+    parser.add_argument(
+        "--specs", nargs="+", default=None, help="restrict fuzzing to these spec names"
+    )
+    parser.add_argument(
+        "--machines",
+        nargs="+",
+        default=None,
+        help="restrict conformance to these machine names",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="FILE",
+        help="persist interesting inputs and counterexamples to this JSONL file",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay a saved corpus instead of running the engines",
+    )
+    parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=600,
+        help="predicate evaluations the shrinker may spend per failure",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay:
+        checked, drifts = replay_corpus(args.replay)
+        print(f"replayed {checked} corpus entr{'y' if checked == 1 else 'ies'}")
+        for drift in drifts:
+            print(f"  DRIFT: {drift}")
+        return 1 if drifts else 0
+    report = run_all(
+        seed=args.seed,
+        budget=args.budget,
+        engines=args.engines,
+        specs=args.specs,
+        machines=args.machines,
+        corpus_path=args.corpus,
+        shrink_budget=args.shrink_budget,
+    )
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The replayable corpus: interesting inputs and counterexamples on disk.
+
+A corpus is a JSONL file of :class:`CorpusEntry` records.  Two uses:
+
+* **seeding** — inputs that reached new coverage are persisted, so the
+  next fuzzing run starts from territory the last one conquered;
+* **replay** — every reported failure carries the exact bytes (original
+  and shrunk) plus the classification it produced, so
+  ``python -m repro.conformance --replay FILE`` re-runs each entry and
+  verifies the behaviour is still reproducible — the regression gate for
+  every future codec/runtime change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted input: where it came from and what it did."""
+
+    engine: str  # "fuzz" | "differential" | "machine"
+    subject: str  # spec or machine name
+    outcome: str  # classification label at record time
+    data: bytes  # the original input (bytes or encoded event list)
+    shrunk: Optional[bytes] = None  # minimized reproducer, when one exists
+    seed: Optional[int] = None  # run seed that produced it
+    detail: str = ""  # free-text context (exception repr, field, ...)
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def reproducer(self) -> bytes:
+        """The bytes to replay: the shrunk form when available."""
+        return self.shrunk if self.shrunk is not None else self.data
+
+    def to_json(self) -> str:
+        record = {
+            "engine": self.engine,
+            "subject": self.subject,
+            "outcome": self.outcome,
+            "data": self.data.hex(),
+            "shrunk": self.shrunk.hex() if self.shrunk is not None else None,
+            "seed": self.seed,
+            "detail": self.detail,
+            "meta": self.meta,
+        }
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "CorpusEntry":
+        record = json.loads(line)
+        return cls(
+            engine=record["engine"],
+            subject=record["subject"],
+            outcome=record["outcome"],
+            data=bytes.fromhex(record["data"]),
+            shrunk=(
+                bytes.fromhex(record["shrunk"])
+                if record.get("shrunk") is not None
+                else None
+            ),
+            seed=record.get("seed"),
+            detail=record.get("detail", ""),
+            meta=record.get("meta", {}),
+        )
+
+
+class Corpus:
+    """An append-only collection of entries with JSONL persistence."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.entries: List[CorpusEntry] = []
+        if path is not None and os.path.exists(path):
+            self.entries = list(load_entries(path))
+
+    def add(self, entry: CorpusEntry) -> None:
+        """Record an entry (in memory; call :meth:`save` to persist)."""
+        self.entries.append(entry)
+
+    def by_subject(self, subject: str) -> List[CorpusEntry]:
+        """Entries for one spec or machine, oldest first."""
+        return [e for e in self.entries if e.subject == subject]
+
+    def failures(self) -> List[CorpusEntry]:
+        """Entries whose outcome is a bug classification."""
+        return [e for e in self.entries if e.outcome.startswith("bug")]
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write all entries as JSONL; returns the path written."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no corpus path configured")
+        directory = os.path.dirname(target)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            for entry in self.entries:
+                handle.write(entry.to_json() + "\n")
+        return target
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries)
+
+
+def load_entries(path: str) -> Iterator[CorpusEntry]:
+    """Stream entries from a JSONL corpus file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield CorpusEntry.from_json(line)

@@ -1,0 +1,128 @@
+"""Coverage accounting for the conformance engines, on ``repro.obs``.
+
+Every engine reports what it exercised — fields mutated, decoder error
+paths hit, constraints violated, machine transitions fired — into one
+:class:`CoverageMap`, which is a thin policy layer over the PR-1
+:class:`~repro.obs.MetricsRegistry`:
+
+* each observation is a labeled counter, so a coverage snapshot is an
+  ordinary metrics snapshot (JSON-ready, dashboard-ready);
+* a *first* observation of a label set is flagged as **new coverage**,
+  which is what makes a fuzz input "interesting" (it joins the corpus);
+* :meth:`CoverageMap.pick` schedules work toward uncovered territory:
+  candidates are drawn with weight inversely proportional to how often
+  their counter has already been hit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.obs.metrics import MetricsRegistry
+
+T = TypeVar("T")
+
+# Counter names, fixed so dashboards and tests can rely on them.
+FIELD_MUTATIONS = "conformance.field_mutations"
+OUTCOMES = "conformance.outcomes"
+ERROR_PATHS = "conformance.error_paths"
+TRANSITIONS = "conformance.transitions_fired"
+REJECTIONS = "conformance.rejections"
+
+
+class CoverageMap:
+    """Shared coverage state for one conformance run.
+
+    Parameters
+    ----------
+    registry:
+        The metrics registry to account into; a fresh private one by
+        default so conformance runs never pollute the process-wide
+        observability state (pass ``repro.obs.get_default().registry`` to
+        merge them deliberately).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._seen: set = set()
+
+    # -- recording -------------------------------------------------------
+
+    def _record(self, name: str, **labels: Any) -> bool:
+        """Bump a counter; True when this label set is new coverage."""
+        key = (name, tuple(sorted(labels.items())))
+        fresh = key not in self._seen
+        self._seen.add(key)
+        self.registry.counter(name, **labels).inc()
+        return fresh
+
+    def record_field_mutation(self, spec: str, field: str) -> bool:
+        """A mutation targeted ``field`` of ``spec``."""
+        return self._record(FIELD_MUTATIONS, spec=spec, field=field)
+
+    def record_outcome(self, engine: str, subject: str, outcome: str) -> bool:
+        """An engine classified one case (accept/reject/bug...)."""
+        return self._record(OUTCOMES, engine=engine, subject=subject, outcome=outcome)
+
+    def record_error_path(self, spec: str, path: str) -> bool:
+        """A declared error path fired (DecodeError kind or constraint)."""
+        return self._record(ERROR_PATHS, spec=spec, path=path)
+
+    def record_transition(self, machine: str, transition: str) -> bool:
+        """The runtime executed a machine transition."""
+        return self._record(TRANSITIONS, machine=machine, transition=transition)
+
+    def record_rejection(self, machine: str, transition: str, code: str) -> bool:
+        """The runtime rejected a transition with a reason code."""
+        return self._record(
+            REJECTIONS, machine=machine, transition=transition, code=code
+        )
+
+    # -- scheduling -------------------------------------------------------
+
+    def hits(self, name: str, **labels: Any) -> int:
+        """How often a coverage point has been observed so far."""
+        metric = self.registry.get(name, **labels)
+        return 0 if metric is None else metric.value
+
+    def pick(
+        self,
+        rng: random.Random,
+        candidates: Sequence[T],
+        key: Callable[[T], Tuple[str, Dict[str, Any]]],
+    ) -> T:
+        """Choose a candidate, biased toward the least-covered ones.
+
+        ``key`` maps a candidate to ``(counter_name, labels)``; each
+        candidate's weight is ``1 / (1 + hits)``, so unexercised points
+        are strongly preferred but covered ones stay reachable (the
+        fuzzer never starves a field entirely).
+        """
+        if not candidates:
+            raise ValueError("no candidates to pick from")
+        weights: List[float] = []
+        for candidate in candidates:
+            name, labels = key(candidate)
+            weights.append(1.0 / (1.0 + self.hits(name, **labels)))
+        total = sum(weights)
+        mark = rng.random() * total
+        acc = 0.0
+        for candidate, weight in zip(candidates, weights):
+            acc += weight
+            if mark <= acc:
+                return candidate
+        return candidates[-1]
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Covered-point counts per coverage dimension (JSON-ready)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name in (FIELD_MUTATIONS, OUTCOMES, ERROR_PATHS, TRANSITIONS, REJECTIONS):
+            points = [k for k in self._seen if k[0] == name]
+            hits = sum(
+                self.hits(k[0], **dict(k[1])) for k in points
+            )
+            out[name] = {"points": len(points), "hits": hits}
+        return out

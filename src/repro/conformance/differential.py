@@ -1,0 +1,301 @@
+"""Differential testing: the DSL codec against independent implementations.
+
+Two oracles live in-tree and were written without reference to the codec
+internals, which makes them ideal cross-checks:
+
+* :mod:`repro.baseline.sockets_arq` — the hand-rolled C-style ARQ codec.
+  It shares the DSL ARQ wire format byte for byte (the two interoperate
+  in the experiments), so *every* frame must encode identically and
+  *every* byte string must be accepted/rejected identically, with equal
+  decoded fields on acceptance.
+* the ASN.1 codecs — DER and PER are two independent encoders over the
+  same abstract value domain, so ``decode(encode(v))`` must be the
+  identity under both, and both must agree on the recovered value.
+
+Any disagreement is a bug in one of the implementations — exactly the
+"spec gap" failure mode systematic differential testing exists to catch.
+Byte-level disagreements are shrunk before reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional
+
+from repro.asn1 import (
+    Asn1Error,
+    Boolean,
+    Choice,
+    Enumerated,
+    IA5String,
+    Integer,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    der_decode,
+    der_encode,
+    per_decode,
+    per_encode,
+)
+from repro.asn1.types import Asn1Type
+from repro.baseline.sockets_arq import (
+    ERR_OK,
+    pack_ack,
+    pack_data,
+    unpack_ack,
+    unpack_data,
+)
+from repro.conformance.corpus import Corpus, CorpusEntry
+from repro.conformance.coverage import CoverageMap
+from repro.conformance.mutate import Finding
+from repro.conformance.shrink import shrink_bytes
+from repro.protocols.arq import ACK_PACKET, ARQ_PACKET
+
+#: The ASN.1 schemas whose value domains the DER and PER codecs share.
+ASN1_SCHEMAS = [
+    Integer(),
+    Integer(0, 255),
+    Integer(-500, 500),
+    Boolean(),
+    OctetString(),
+    IA5String(),
+    Enumerated({"red": 0, "green": 1, "blue": 5}),
+    Sequence([("a", Integer()), ("b", Boolean()), ("c", OctetString())]),
+    SequenceOf(Integer(0, 7)),
+    Choice([("x", Integer()), ("y", OctetString())]),
+]
+
+
+def random_asn1_value(schema: Asn1Type, rng: random.Random) -> Any:
+    """Draw a random inhabitant of an ASN.1 schema's value domain."""
+    if isinstance(schema, Integer):
+        low = schema.low if schema.low is not None else -(1 << 32)
+        high = schema.high if schema.high is not None else (1 << 32)
+        return rng.randint(low, high)
+    if isinstance(schema, Boolean):
+        return rng.random() < 0.5
+    if isinstance(schema, OctetString):
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 16)))
+    if isinstance(schema, IA5String):
+        return "".join(chr(rng.randrange(32, 127)) for _ in range(rng.randrange(0, 12)))
+    if isinstance(schema, Enumerated):
+        return rng.choice(sorted(schema.values))
+    if isinstance(schema, Sequence):
+        return {
+            name: random_asn1_value(sub, rng) for name, sub in schema.fields
+        }
+    if isinstance(schema, SequenceOf):
+        return [
+            random_asn1_value(schema.element, rng)
+            for _ in range(rng.randrange(0, 6))
+        ]
+    if isinstance(schema, Choice):
+        name, sub = rng.choice(list(schema.alternatives))
+        return (name, random_asn1_value(sub, rng))
+    raise TypeError(f"no generator for schema {schema!r}")
+
+
+def _dsl_data_frame(data: bytes):
+    """DSL view of an ARQ data frame: (accepted, seq, payload)."""
+    verified = ARQ_PACKET.try_parse(data)
+    if verified is None:
+        return False, 0, b""
+    return True, verified.value.seq, verified.value.payload
+
+
+def _baseline_data_frame(data: bytes):
+    err, seq, payload = unpack_data(data)
+    return err == ERR_OK, seq, payload
+
+
+def _data_frames_disagree(data: bytes) -> Optional[str]:
+    """Why the two ARQ data-frame decoders disagree on ``data``, if they do."""
+    dsl_ok, dsl_seq, dsl_payload = _dsl_data_frame(data)
+    base_ok, base_seq, base_payload = _baseline_data_frame(data)
+    if dsl_ok != base_ok:
+        return (
+            f"DSL {'accepts' if dsl_ok else 'rejects'} but baseline "
+            f"{'accepts' if base_ok else 'rejects'}"
+        )
+    if dsl_ok and (dsl_seq, dsl_payload) != (base_seq, base_payload):
+        return (
+            f"decoded fields differ: DSL (seq={dsl_seq}, payload="
+            f"{dsl_payload.hex()!r}), baseline (seq={base_seq}, "
+            f"payload={base_payload.hex()!r})"
+        )
+    return None
+
+
+def _ack_frames_disagree(data: bytes) -> Optional[str]:
+    verified = ACK_PACKET.try_parse(data)
+    err, seq = unpack_ack(data)
+    dsl_ok = verified is not None
+    base_ok = err == ERR_OK
+    if dsl_ok != base_ok:
+        return (
+            f"DSL {'accepts' if dsl_ok else 'rejects'} but baseline "
+            f"{'accepts' if base_ok else 'rejects'}"
+        )
+    if dsl_ok and verified.value.seq != seq:
+        return f"decoded seq differs: DSL {verified.value.seq}, baseline {seq}"
+    return None
+
+
+class DifferentialEngine:
+    """Cross-checks the DSL codec against the in-tree independent oracles."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        coverage: CoverageMap,
+        corpus: Optional[Corpus] = None,
+        seed: Optional[int] = None,
+        shrink_budget: int = 600,
+    ) -> None:
+        self.rng = rng
+        self.coverage = coverage
+        self.corpus = corpus
+        self.seed = seed
+        self.shrink_budget = shrink_budget
+        self.cases = 0
+
+    # -- ARQ vs. the sockets-style baseline ------------------------------
+
+    def _report(
+        self, subject: str, detail: str, data: bytes, shrunk: bytes
+    ) -> Finding:
+        finding = Finding(
+            subject=subject,
+            outcome="bug_differential",
+            data=data,
+            shrunk=shrunk,
+            detail=detail,
+        )
+        if self.corpus is not None:
+            self.corpus.add(
+                CorpusEntry(
+                    engine="differential",
+                    subject=subject,
+                    outcome="bug_differential",
+                    data=data,
+                    shrunk=shrunk,
+                    seed=self.seed,
+                    detail=detail,
+                )
+            )
+        return finding
+
+    def run_arq(self, budget: int) -> List[Finding]:
+        """Encode and decode agreement between DSL ARQ and the baseline."""
+        rng = self.rng
+        findings: List[Finding] = []
+        for _ in range(budget):
+            self.cases += 1
+            seq = rng.randrange(256)
+            payload = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 32)))
+            # Encode agreement: the same logical frame, byte for byte.
+            dsl_wire = ARQ_PACKET.encode(
+                ARQ_PACKET.make(seq=seq, length=len(payload), payload=payload)
+            )
+            base_wire = pack_data(seq, payload)
+            if dsl_wire != base_wire:
+                self.coverage.record_outcome("differential", "ArqData", "bug")
+                findings.append(
+                    self._report(
+                        "ArqData",
+                        f"encoders disagree for seq={seq}: DSL "
+                        f"{dsl_wire.hex()!r}, baseline {base_wire.hex()!r}",
+                        dsl_wire,
+                        dsl_wire,
+                    )
+                )
+                continue
+            dsl_ack = ACK_PACKET.encode(ACK_PACKET.make(seq=seq))
+            base_ack = pack_ack(seq)
+            if dsl_ack != base_ack:
+                self.coverage.record_outcome("differential", "ArqAck", "bug")
+                findings.append(
+                    self._report(
+                        "ArqAck",
+                        f"ack encoders disagree for seq={seq}",
+                        dsl_ack,
+                        dsl_ack,
+                    )
+                )
+                continue
+            # Decode agreement on a hostile derivative of the valid frame.
+            for wire, checker, subject in (
+                (dsl_wire, _data_frames_disagree, "ArqData"),
+                (dsl_ack, _ack_frames_disagree, "ArqAck"),
+            ):
+                mutated = bytearray(wire)
+                for _ in range(rng.randrange(1, 4)):
+                    mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+                if rng.random() < 0.3:
+                    mutated = mutated[: rng.randrange(len(mutated) + 1)]
+                if rng.random() < 0.2:
+                    mutated += bytes(
+                        rng.randrange(256) for _ in range(rng.randrange(1, 5))
+                    )
+                data = bytes(mutated)
+                detail = checker(data)
+                outcome = "bug" if detail else "agree"
+                self.coverage.record_outcome("differential", subject, outcome)
+                if detail:
+                    shrunk = shrink_bytes(
+                        data,
+                        lambda d, c=checker: c(d) is not None,
+                        max_evaluations=self.shrink_budget,
+                    )
+                    findings.append(
+                        self._report(subject, checker(shrunk) or detail, data, shrunk)
+                    )
+        return findings
+
+    # -- DER vs. PER over the shared value domain --------------------------
+
+    def run_asn1(self, budget: int) -> List[Finding]:
+        """Round-trip and cross-codec agreement for every schema."""
+        rng = self.rng
+        findings: List[Finding] = []
+        per_schema = max(1, budget // max(1, len(ASN1_SCHEMAS)))
+        for schema in ASN1_SCHEMAS:
+            subject = f"asn1:{schema!r}"
+            for _ in range(per_schema):
+                self.cases += 1
+                value = random_asn1_value(schema, rng)
+                try:
+                    der_wire = der_encode(schema, value)
+                    der_value = der_decode(schema, der_wire)
+                    per_wire = per_encode(schema, value)
+                    per_value = per_decode(schema, per_wire)
+                except Asn1Error as exc:
+                    self.coverage.record_outcome("differential", subject, "bug")
+                    findings.append(
+                        self._report(
+                            subject,
+                            f"declared-valid value {value!r} rejected: {exc}",
+                            repr(value).encode(),
+                            repr(value).encode(),
+                        )
+                    )
+                    continue
+                if der_value != value or per_value != value or der_value != per_value:
+                    self.coverage.record_outcome("differential", subject, "bug")
+                    findings.append(
+                        self._report(
+                            subject,
+                            f"codecs disagree on {value!r}: DER recovered "
+                            f"{der_value!r}, PER recovered {per_value!r}",
+                            der_wire,
+                            der_wire,
+                        )
+                    )
+                else:
+                    self.coverage.record_outcome("differential", subject, "agree")
+        return findings
+
+    def run(self, budget: int) -> List[Finding]:
+        """Both differential legs, splitting the case budget between them."""
+        half = max(1, budget // 2)
+        return self.run_arq(half) + self.run_asn1(budget - half)

@@ -1,0 +1,327 @@
+"""State-machine conformance: the runtime versus the explicit-state model.
+
+The same :class:`~repro.core.statemachine.MachineSpec` drives two
+independent semantics in this repo — the :class:`~repro.core.Machine`
+runtime (``exec_trans``) and the :mod:`repro.modelcheck` explorer.  The
+paper's promise is that the spec *is* the model, so the two must agree.
+This engine makes that promise executable: it drives random event
+sequences through a runtime machine while stepping the model alongside
+(:func:`repro.modelcheck.successors_of` with the exact inputs used,
+pinned as singleton domains), and flags any divergence:
+
+* ``runtime_accepts_model_forbids`` — the runtime executed a transition
+  whose target the model's one-step semantics does not admit.  The model
+  over-approximates callable guards (may-fire), so this direction is
+  always a genuine bug.
+* ``model_allows_runtime_rejects`` — the runtime rejected with a
+  dispatch/guard code although the model, with *exact* (non-approximated)
+  semantics, admits a target.  Evidence/payload/inputs rejections carry
+  no verdict: the model never sees payloads.
+
+For machines whose reachable space is finite (``entry.graph``), a second
+leg precomputes the full graph with :func:`repro.modelcheck.explore` and
+additionally checks that every visited configuration stays inside the
+reachable set and every fired edge exists in the graph.  The model and
+runtime sides use *separate* spec builds, compared by
+``(state name, parameter values)`` — state instances compare by spec
+identity, so cross-build comparison must go through value keys.
+
+Known blind spot, inherited from may-fire: a runtime whose callable
+guard is *looser* than intended cannot be told apart from the model's
+over-approximation.  Target and state-update drift, guard predicates,
+and dispatch behaviour are all covered.
+
+Failing event sequences are minimized with
+:func:`repro.conformance.shrink.shrink_sequence` and persisted to the
+corpus in a replayable JSON form.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.machine import InvalidTransitionError, Machine
+from repro.core.packet import PacketSpec
+from repro.core.statemachine import MachineSpec, StateInstance
+from repro.core.verified import Verified
+from repro.modelcheck.explicit import explore, successors_of
+from repro.conformance.corpus import Corpus, CorpusEntry
+from repro.conformance.coverage import REJECTIONS, TRANSITIONS, CoverageMap
+from repro.conformance.mutate import Finding
+from repro.conformance.registry import MachineEntry, all_spec_entries
+from repro.conformance.shrink import shrink_sequence
+
+BUG_DIVERGENCE = "bug_divergence"
+BUG_MACHINE_CRASH = "bug_machine_crash"
+
+#: Rejection codes the model can adjudicate.  ``evidence``/``payload``/
+#: ``inputs`` rejections depend on data the model never sees.
+_MODEL_COMPARABLE_CODES = ("dispatch", "guard")
+
+Op = Tuple[str, Any, Dict[str, int]]  # (transition, payload, inputs)
+
+ConfigKey = Tuple[str, Tuple[int, ...]]
+
+
+def _key(instance: StateInstance) -> ConfigKey:
+    """Cross-build comparison key for a configuration."""
+    return (instance.state.name, instance.values)
+
+
+def _spec_by_name() -> Dict[str, PacketSpec]:
+    return {entry.spec.name: entry.spec for entry in all_spec_entries()}
+
+
+def encode_ops(ops: List[Op]) -> bytes:
+    """Serialize an event sequence for the corpus (JSON, replayable)."""
+    records = []
+    for name, payload, inputs in ops:
+        if payload is None:
+            encoded: Any = None
+        elif isinstance(payload, (bytes, bytearray)):
+            encoded = {"kind": "bytes", "hex": bytes(payload).hex()}
+        elif isinstance(payload, Verified):
+            spec_name = payload.certificate.spec_name
+            spec = _spec_by_name()[spec_name]
+            encoded = {
+                "kind": "verified",
+                "spec": spec_name,
+                "hex": spec.encode(payload.value).hex(),
+            }
+        else:
+            raise TypeError(f"cannot serialize payload {payload!r}")
+        records.append({"t": name, "payload": encoded, "inputs": inputs})
+    return json.dumps(records, sort_keys=True).encode("utf-8")
+
+
+def decode_ops(data: bytes) -> List[Op]:
+    """Inverse of :func:`encode_ops`; verified payloads are re-parsed."""
+    specs = _spec_by_name()
+    ops: List[Op] = []
+    for record in json.loads(data.decode("utf-8")):
+        encoded = record["payload"]
+        if encoded is None:
+            payload: Any = None
+        elif encoded["kind"] == "bytes":
+            payload = bytes.fromhex(encoded["hex"])
+        else:
+            payload = specs[encoded["spec"]].parse(bytes.fromhex(encoded["hex"]))
+        ops.append((record["t"], payload, dict(record["inputs"])))
+    return ops
+
+
+class MachineConformance:
+    """Dual-steps one machine entry: runtime walk against model semantics.
+
+    ``runtime_build`` lets callers substitute a different (e.g.
+    deliberately corrupted) spec build for the runtime side while the
+    model side keeps ``entry.build`` — the fault-injection hook the
+    negative tests use.  By default both sides build from the same
+    factory, so any disagreement indicts the runtime/model pair itself.
+    """
+
+    def __init__(
+        self,
+        entry: MachineEntry,
+        rng: random.Random,
+        coverage: CoverageMap,
+        corpus: Optional[Corpus] = None,
+        seed: Optional[int] = None,
+        runtime_build: Optional[Any] = None,
+        shrink_budget: int = 400,
+    ) -> None:
+        self.entry = entry
+        self.rng = rng
+        self.coverage = coverage
+        self.corpus = corpus
+        self.seed = seed
+        self.shrink_budget = shrink_budget
+        self.cases = 0
+        self.model_spec: MachineSpec = entry.build()
+        self.runtime_build = runtime_build if runtime_build is not None else entry.build
+        self._reachable: Optional[Set[ConfigKey]] = None
+        self._graph_edges: Optional[Dict[ConfigKey, Set[Tuple[str, ConfigKey]]]] = None
+        self._graph_approx: Set[str] = set()
+        if entry.graph:
+            result = explore(
+                self.model_spec,
+                input_domains=entry.input_domains,
+                max_states=50_000,
+            )
+            self._reachable = {_key(s) for s in result.reachable_states()}
+            self._graph_edges = {
+                _key(s): {(t, _key(target)) for t, target in result.successors(s)}
+                for s in result.reachable_states()
+            }
+            self._graph_approx = set(result.approximated_transitions)
+
+    # -- one step of the dual semantics -----------------------------------
+
+    def _model_view(self, instance: StateInstance) -> Optional[StateInstance]:
+        """The model-spec configuration matching a runtime configuration."""
+        state = self.model_spec.states.get(instance.state.name)
+        if state is None or state.arity != len(instance.values):
+            return None
+        return state.instance(*instance.values)
+
+    def _check_step(
+        self, machine: Machine, name: str, payload: Any, inputs: Dict[str, int]
+    ) -> Optional[Tuple[str, str]]:
+        """Execute one op; returns ``(outcome, detail)`` on divergence."""
+        before = machine.current
+        before_model = self._model_view(before)
+        if before_model is None:
+            return BUG_DIVERGENCE, (
+                f"runtime configuration {before!r} has no counterpart in the "
+                "model spec"
+            )
+        try:
+            transition = self.model_spec.transition_named(name)
+        except KeyError:
+            return BUG_DIVERGENCE, f"runtime spec has transition {name!r}, model does not"
+        domains = (
+            {name: {k: (v,) for k, v in inputs.items()}} if inputs else None
+        )
+        targets, approximated = successors_of(
+            self.model_spec, transition, before_model, domains
+        )
+        target_keys = {_key(t) for t in targets}
+        try:
+            after = machine.exec_trans(name, payload, **inputs)
+        except InvalidTransitionError as exc:
+            self.coverage.record_rejection(self.entry.name, name, exc.code)
+            if (
+                exc.code in _MODEL_COMPARABLE_CODES
+                and target_keys
+                and not approximated
+            ):
+                return BUG_DIVERGENCE, (
+                    f"model allows {name!r} from {before_model!r} "
+                    f"(targets {sorted(target_keys)}) but runtime rejects: "
+                    f"{exc.reason} [{exc.code}]"
+                )
+            return None
+        except Exception as exc:  # anything undeclared escaping exec_trans
+            return BUG_MACHINE_CRASH, f"exec_trans({name!r}) raised {exc!r}"
+        self.coverage.record_transition(self.entry.name, name)
+        after_key = _key(after)
+        if after_key not in target_keys:
+            return BUG_DIVERGENCE, (
+                f"runtime executed {name!r}: {_key(before)} -> {after_key}, "
+                f"but model admits only {sorted(target_keys)}"
+                + (" (may-fire approximated)" if approximated else "")
+            )
+        if self._reachable is not None and after_key not in self._reachable:
+            return BUG_DIVERGENCE, (
+                f"runtime reached {after_key} via {name!r}, outside the "
+                f"model's reachable graph ({len(self._reachable)} configs)"
+            )
+        if (
+            self._graph_edges is not None
+            and name not in self._graph_approx
+            and (name, after_key) not in self._graph_edges.get(_key(before), set())
+        ):
+            return BUG_DIVERGENCE, (
+                f"edge ({name!r}, {_key(before)} -> {after_key}) missing from "
+                "the model's explored graph"
+            )
+        return None
+
+    def _replay_diverges(self, ops: List[Op]) -> Optional[Tuple[str, str]]:
+        """Replay an op list on a fresh runtime machine; first divergence."""
+        machine = Machine(self.runtime_build())
+        for name, payload, inputs in ops:
+            divergence = self._check_step(machine, name, payload, inputs)
+            if divergence is not None:
+                return divergence
+        return None
+
+    # -- the walk ----------------------------------------------------------
+
+    def run(self, budget: int) -> List[Finding]:
+        """Drive ``budget`` events through runtime+model; report divergences."""
+        findings: List[Finding] = []
+        entry = self.entry
+        rng = self.rng
+        steps_left = budget
+        while steps_left > 0:
+            machine = Machine(self.runtime_build())
+            ops: List[Op] = []
+            for _ in range(min(entry.max_walk_steps, steps_left)):
+                steps_left -= 1
+                self.cases += 1
+                transition = self.coverage.pick(
+                    rng,
+                    list(self.model_spec.transitions),
+                    key=lambda t: (
+                        TRANSITIONS,
+                        {"machine": entry.name, "transition": t.name},
+                    ),
+                )
+                runtime_transition = transition
+                try:
+                    runtime_transition = machine.spec.transition_named(
+                        transition.name
+                    )
+                except KeyError:
+                    pass
+                payload, inputs = entry.arm(runtime_transition, machine, rng)
+                ops.append((transition.name, payload, inputs))
+                divergence = self._check_step(
+                    machine, transition.name, payload, inputs
+                )
+                if divergence is None:
+                    self.coverage.record_outcome("machine", entry.name, "agree")
+                    continue
+                outcome, detail = divergence
+                self.coverage.record_outcome("machine", entry.name, outcome)
+                shrunk_ops = shrink_sequence(
+                    ops,
+                    lambda candidate: self._replay_diverges(list(candidate))
+                    is not None,
+                    max_evaluations=self.shrink_budget,
+                )
+                replayed = self._replay_diverges(shrunk_ops)
+                finding = Finding(
+                    subject=entry.name,
+                    outcome=outcome,
+                    data=encode_ops(ops),
+                    shrunk=encode_ops(shrunk_ops),
+                    detail=replayed[1] if replayed else detail,
+                )
+                findings.append(finding)
+                if self.corpus is not None:
+                    self.corpus.add(
+                        CorpusEntry(
+                            engine="machine",
+                            subject=entry.name,
+                            outcome=outcome,
+                            data=finding.data,
+                            shrunk=finding.shrunk,
+                            seed=self.seed,
+                            detail=finding.detail,
+                            meta={"events": str(len(shrunk_ops))},
+                        )
+                    )
+                break  # divergent machine state is tainted; start a new walk
+        return findings
+
+
+def replay_machine_entry(
+    corpus_entry: CorpusEntry, machine_entry: MachineEntry
+) -> Tuple[bool, str]:
+    """Replay a persisted machine-divergence entry; True if it still diverges."""
+    conformance = MachineConformance(
+        machine_entry,
+        random.Random(0),
+        CoverageMap(),
+    )
+    ops = decode_ops(corpus_entry.reproducer())
+    divergence = conformance._replay_diverges(ops)
+    if corpus_entry.outcome.startswith("bug"):
+        if divergence is not None:
+            return True, divergence[1]
+        return False, "recorded divergence no longer reproduces"
+    return True, "nothing to check for non-bug entries"

@@ -1,0 +1,295 @@
+"""The conformance registry: every in-tree spec and machine as a test subject.
+
+The tentpole promise is that *everything* declared in the repo is an
+executable oracle.  This module enumerates:
+
+* :func:`all_spec_entries` — every packet spec, each with a valid-packet
+  generator (``testing.random_packet`` by default; specs whose semantic
+  constraints make blind generation hopeless, like the ABNF-constrained
+  chat frame, supply a purpose-built generator);
+* :func:`all_machine_entries` — every machine spec, each with an *armer*
+  that can produce payloads and execution-time inputs for any transition
+  (valid most of the time, deliberately invalid sometimes, to walk the
+  rejection paths too).
+
+New protocols join the standing correctness gate by adding one entry
+here — nothing else in :mod:`repro.conformance` is protocol-specific.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.machine import Machine
+from repro.core.packet import Packet, PacketSpec
+from repro.core.statemachine import MachineSpec, TransitionSpec
+from repro.modelcheck.explicit import InputDomains
+from repro.protocols.arq import ACK_PACKET, ARQ_PACKET, build_receiver_spec, build_sender_spec
+from repro.protocols.dns import DNS_HEADER, DNS_QUESTION_FIXED
+from repro.protocols.handshake import (
+    HANDSHAKE_PACKET,
+    MSG_ACK,
+    MSG_SYN,
+    MSG_SYN_ACK,
+    build_initiator_spec,
+    build_responder_spec,
+)
+from repro.protocols.headers import ICMP_ECHO, IPV4_HEADER, TCP_HEADER, UDP_HEADER
+from repro.protocols.sliding import (
+    KIND_CUMULATIVE,
+    SLIDING_ACK,
+    SLIDING_PACKET,
+    build_gbn_sender_spec,
+    build_window_receiver_spec,
+)
+from repro.protocols.textproto import CHAT_FRAME
+from repro.testing import random_packet
+
+Armer = Callable[
+    [TransitionSpec, Machine, random.Random], Tuple[Any, Dict[str, int]]
+]
+
+
+@dataclass
+class SpecEntry:
+    """One packet spec plus the knowledge needed to fuzz it."""
+
+    spec: PacketSpec
+    generate: Callable[[random.Random], Packet]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class MachineEntry:
+    """One machine spec plus the knowledge needed to drive it.
+
+    ``graph`` marks machines whose reachable configuration space is small
+    enough for a full :func:`repro.modelcheck.explore` — those get the
+    precomputed-graph conformance leg in addition to on-the-fly stepping.
+    """
+
+    name: str
+    build: Callable[[], MachineSpec]
+    arm: Armer
+    input_domains: Optional[InputDomains] = None
+    graph: bool = False
+    max_walk_steps: int = 40
+
+
+# -- packet specs -------------------------------------------------------
+
+
+def _chat_packet(rng: random.Random) -> Packet:
+    """A valid chat frame: blind draws cannot satisfy the ABNF constraint."""
+    room = "".join(
+        rng.choice(string.ascii_letters + string.digits + "-")
+        for _ in range(rng.randrange(1, 17))
+    )
+    kind = rng.randrange(4)
+    if kind == 0:
+        line = "PING"
+    elif kind == 1:
+        line = f"JOIN {room}"
+    elif kind == 2:
+        line = f"LEAVE {room}"
+    else:
+        text = "".join(
+            rng.choice(string.ascii_letters + " !?.") for _ in range(rng.randrange(1, 40))
+        )
+        line = f"MSG {room} {text.strip() or 'hi'}"
+    command = line.encode("ascii") + b"\r\n"
+    return CHAT_FRAME.make(length=len(command), command=command)
+
+
+def all_spec_entries() -> List[SpecEntry]:
+    """Every in-tree packet spec, wired with a valid-packet generator."""
+    default = lambda spec: (lambda rng: random_packet(spec, rng))
+    entries = [
+        SpecEntry(spec, default(spec))
+        for spec in (
+            ARQ_PACKET,
+            ACK_PACKET,
+            IPV4_HEADER,
+            UDP_HEADER,
+            TCP_HEADER,
+            ICMP_ECHO,
+            DNS_HEADER,
+            DNS_QUESTION_FIXED,
+            HANDSHAKE_PACKET,
+            SLIDING_PACKET,
+            SLIDING_ACK,
+        )
+    ]
+    entries.append(SpecEntry(CHAT_FRAME, _chat_packet))
+    return entries
+
+
+# -- machines -----------------------------------------------------------
+
+#: Reduced sequence width for the ARQ machines: 4 bits keeps the full
+#: reachable graph at 64 configurations, so the explicit explorer covers
+#: it exactly while the runtime semantics stay identical.
+ARQ_CONF_BITS = 4
+_NONCE_DOMAIN = (1, 2, 3)
+
+
+def _arq_sender_arm(
+    transition: TransitionSpec, machine: Machine, rng: random.Random
+) -> Tuple[Any, Dict[str, int]]:
+    if transition.requires == "bytes":
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 8))), {}
+    if transition.requires is ACK_PACKET:
+        seq = machine.current.values[0]
+        if rng.random() < 0.25:  # probe the guard's rejection path
+            seq = rng.randrange(1 << ARQ_CONF_BITS)
+        return ACK_PACKET.verify(ACK_PACKET.make(seq=seq)), {}
+    return None, {}
+
+
+def _arq_receiver_arm(
+    transition: TransitionSpec, machine: Machine, rng: random.Random
+) -> Tuple[Any, Dict[str, int]]:
+    current = machine.current.values[0]
+    if transition.name == "RECV":
+        seq = current
+    else:  # DUP_ACK wants the previous sequence number
+        seq = (current - 1) % (1 << ARQ_CONF_BITS)
+    if rng.random() < 0.25:
+        seq = rng.randrange(1 << ARQ_CONF_BITS)
+    payload = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 6)))
+    packet = ARQ_PACKET.make(seq=seq, length=len(payload), payload=payload)
+    return ARQ_PACKET.verify(packet), {}
+
+
+def _initiator_arm(
+    transition: TransitionSpec, machine: Machine, rng: random.Random
+) -> Tuple[Any, Dict[str, int]]:
+    if transition.name == "CONNECT":
+        return None, {"nonce": rng.choice(_NONCE_DOMAIN)}
+    if transition.name == "SYNACK":
+        nonce = (
+            machine.current.values[0]
+            if machine.current.values and rng.random() >= 0.25
+            else rng.choice(_NONCE_DOMAIN)
+        )
+        packet = HANDSHAKE_PACKET.make(
+            msg_type=MSG_SYN_ACK,
+            initiator_nonce=nonce,
+            responder_nonce=rng.choice(_NONCE_DOMAIN),
+        )
+        return HANDSHAKE_PACKET.verify(packet), {}
+    return None, {}
+
+
+def _responder_arm(
+    transition: TransitionSpec, machine: Machine, rng: random.Random
+) -> Tuple[Any, Dict[str, int]]:
+    if transition.name == "SYN":
+        packet = HANDSHAKE_PACKET.make(
+            msg_type=MSG_SYN,
+            initiator_nonce=rng.choice(_NONCE_DOMAIN),
+            responder_nonce=0 if rng.random() >= 0.2 else rng.choice(_NONCE_DOMAIN),
+        )
+        return HANDSHAKE_PACKET.verify(packet), {"nonce": rng.choice(_NONCE_DOMAIN)}
+    if transition.name == "ACK":
+        nonce = (
+            machine.current.values[0]
+            if machine.current.values and rng.random() >= 0.25
+            else rng.choice(_NONCE_DOMAIN)
+        )
+        packet = HANDSHAKE_PACKET.make(
+            msg_type=MSG_ACK,
+            initiator_nonce=rng.choice(_NONCE_DOMAIN),
+            responder_nonce=nonce,
+        )
+        return HANDSHAKE_PACKET.verify(packet), {}
+    return None, {}
+
+
+def _gbn_sender_arm(
+    transition: TransitionSpec, machine: Machine, rng: random.Random
+) -> Tuple[Any, Dict[str, int]]:
+    base = machine.current.values[0] if machine.current.values else 0
+    nxt = machine.current.values[1] if len(machine.current.values) > 1 else base
+    if transition.requires == "bytes":
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 6))), {}
+    if transition.name == "ACK":
+        ack = rng.randrange(base, nxt) if nxt > base else rng.randrange(4)
+        if rng.random() < 0.2:
+            ack = rng.randrange(8)  # probe the window guard
+        packet = SLIDING_ACK.make(kind=KIND_CUMULATIVE, seq=ack)
+        return SLIDING_ACK.verify(packet), {"ack": ack}
+    if transition.name == "ACK_OLD":
+        ack = rng.randrange(base) if base > 0 else 0
+        packet = SLIDING_ACK.make(kind=KIND_CUMULATIVE, seq=ack)
+        return SLIDING_ACK.verify(packet), {"ack": ack}
+    return None, {}
+
+
+def _window_receiver_arm(
+    transition: TransitionSpec, machine: Machine, rng: random.Random
+) -> Tuple[Any, Dict[str, int]]:
+    current = machine.current.values[0]
+    if transition.name == "RECV":
+        seq = current
+    else:  # OUT_OF_ORDER: anything but the expected number
+        seq = current + rng.randrange(1, 4)
+    if rng.random() < 0.25:
+        seq = rng.randrange(max(current + 4, 4))
+    payload = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 6)))
+    packet = SLIDING_PACKET.make(seq=seq, length=len(payload), payload=payload)
+    return SLIDING_PACKET.verify(packet), {}
+
+
+def all_machine_entries() -> List[MachineEntry]:
+    """Every in-tree machine spec, wired with an armer and domains."""
+    return [
+        MachineEntry(
+            name="ArqSender",
+            build=lambda: build_sender_spec(max_seq_bits=ARQ_CONF_BITS),
+            arm=_arq_sender_arm,
+            graph=True,
+        ),
+        MachineEntry(
+            name="ArqReceiver",
+            build=lambda: build_receiver_spec(max_seq_bits=ARQ_CONF_BITS),
+            arm=_arq_receiver_arm,
+            graph=True,
+        ),
+        MachineEntry(
+            name="HandshakeInitiator",
+            build=build_initiator_spec,
+            arm=_initiator_arm,
+            input_domains={"CONNECT": {"nonce": _NONCE_DOMAIN}},
+            graph=True,
+        ),
+        MachineEntry(
+            name="HandshakeResponder",
+            build=build_responder_spec,
+            arm=_responder_arm,
+            input_domains={"SYN": {"nonce": _NONCE_DOMAIN}},
+            graph=True,
+        ),
+        MachineEntry(
+            name="GbnSender",
+            build=lambda: build_gbn_sender_spec(window=3),
+            arm=_gbn_sender_arm,
+            # base/nxt are unbounded: the full graph explodes, so this
+            # machine gets on-the-fly model stepping only.
+            graph=False,
+            max_walk_steps=30,
+        ),
+        MachineEntry(
+            name="GbnReceiver",
+            build=lambda: build_window_receiver_spec("GbnReceiver"),
+            arm=_window_receiver_arm,
+            graph=False,
+            max_walk_steps=30,
+        ),
+    ]

@@ -1,0 +1,226 @@
+"""The conformance runner: all engines, every subject, one report.
+
+One :func:`run_all` call covers the tentpole's three engines — mutation
+fuzzing over every packet spec, differential checks against the
+independent oracles, and machine conformance against the model — under a
+single deterministic seed, a shared coverage map, and one corpus.  The
+CLI (:mod:`repro.conformance.__main__`) and the pytest/nightly gates are
+thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.corpus import Corpus, load_entries
+from repro.conformance.coverage import CoverageMap
+from repro.conformance.differential import DifferentialEngine
+from repro.conformance.machineconf import MachineConformance, replay_machine_entry
+from repro.conformance.mutate import Finding, MutationFuzzer, replay_entry
+from repro.conformance.registry import all_machine_entries, all_spec_entries
+
+ENGINES = ("fuzz", "differential", "machine")
+
+
+def derive_rng(seed: int, *parts: str) -> random.Random:
+    """A child PRNG stable across processes (unlike salted ``hash()``)."""
+    digest = hashlib.sha256("|".join([str(seed), *parts]).encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass
+class EngineReport:
+    """What one engine did: case count and surviving findings."""
+
+    engine: str
+    cases: int
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+@dataclass
+class ConformanceReport:
+    """The aggregated result of one conformance run."""
+
+    seed: int
+    budget: int
+    engines: List[EngineReport]
+    coverage: Dict[str, Dict[str, int]]
+    corpus_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(engine.ok for engine in self.engines)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for engine in self.engines for f in engine.findings]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "budget": self.budget,
+                "ok": self.ok,
+                "engines": [
+                    {
+                        "engine": e.engine,
+                        "cases": e.cases,
+                        "findings": [str(f) for f in e.findings],
+                    }
+                    for e in self.engines
+                ],
+                "coverage": self.coverage,
+                "corpus": self.corpus_path,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"conformance run: seed={self.seed} budget={self.budget} "
+            f"-> {'OK' if self.ok else 'FAIL'}"
+        ]
+        for engine in self.engines:
+            lines.append(
+                f"  {engine.engine:<12} {engine.cases:>6} cases  "
+                f"{len(engine.findings)} finding(s)"
+            )
+            for finding in engine.findings:
+                lines.append(f"    {finding}")
+        for name, stats in sorted(self.coverage.items()):
+            lines.append(
+                f"  coverage {name}: {stats['points']} points, "
+                f"{stats['hits']} hits"
+            )
+        if self.corpus_path:
+            lines.append(f"  corpus: {self.corpus_path}")
+        return "\n".join(lines)
+
+
+def run_all(
+    seed: int = 0,
+    budget: int = 2000,
+    engines: Sequence[str] = ENGINES,
+    specs: Optional[Sequence[str]] = None,
+    machines: Optional[Sequence[str]] = None,
+    corpus_path: Optional[str] = None,
+    shrink_budget: int = 600,
+) -> ConformanceReport:
+    """Run the selected engines over the selected subjects.
+
+    ``budget`` is the case budget *per engine*: the fuzzer splits it
+    across packet specs, the differential engine across its oracles, the
+    machine engine across machine entries.  ``specs``/``machines`` filter
+    subjects by name (default: everything in the registry).  The same
+    ``seed`` always reproduces the same run.
+    """
+    coverage = CoverageMap()
+    corpus = Corpus(corpus_path) if corpus_path else Corpus()
+    reports: List[EngineReport] = []
+
+    if "fuzz" in engines:
+        entries = [
+            e
+            for e in all_spec_entries()
+            if specs is None or e.name in specs
+        ]
+        report = EngineReport("fuzz", 0)
+        per_spec = max(1, budget // max(1, len(entries)))
+        for entry in entries:
+            fuzzer = MutationFuzzer(
+                entry,
+                derive_rng(seed, "fuzz", entry.name),
+                coverage,
+                corpus=corpus,
+                seed=seed,
+                shrink_budget=shrink_budget,
+            )
+            report.findings.extend(fuzzer.run(per_spec))
+            report.cases += fuzzer.cases
+        reports.append(report)
+
+    if "differential" in engines:
+        engine = DifferentialEngine(
+            derive_rng(seed, "differential"),
+            coverage,
+            corpus=corpus,
+            seed=seed,
+            shrink_budget=shrink_budget,
+        )
+        findings = engine.run(budget)
+        reports.append(EngineReport("differential", engine.cases, findings))
+
+    if "machine" in engines:
+        entries = [
+            e
+            for e in all_machine_entries()
+            if machines is None or e.name in machines
+        ]
+        report = EngineReport("machine", 0)
+        per_machine = max(1, budget // max(1, len(entries)))
+        for entry in entries:
+            conformance = MachineConformance(
+                entry,
+                derive_rng(seed, "machine", entry.name),
+                coverage,
+                corpus=corpus,
+                seed=seed,
+                shrink_budget=max(100, shrink_budget // 2),
+            )
+            report.findings.extend(conformance.run(per_machine))
+            report.cases += conformance.cases
+        reports.append(report)
+
+    saved_path = None
+    if corpus_path:
+        saved_path = corpus.save()
+    return ConformanceReport(
+        seed=seed,
+        budget=budget,
+        engines=reports,
+        coverage=coverage.summary(),
+        corpus_path=saved_path,
+    )
+
+
+def replay_corpus(path: str) -> Tuple[int, List[str]]:
+    """Replay every entry in a corpus file.
+
+    Returns ``(entries_checked, drift_messages)`` — an empty second
+    element means every recorded behaviour still reproduces.
+    """
+    spec_entries = {e.name: e for e in all_spec_entries()}
+    machine_entries = {e.name: e for e in all_machine_entries()}
+    drifts: List[str] = []
+    checked = 0
+    for entry in load_entries(path):
+        checked += 1
+        if entry.engine == "fuzz":
+            spec_entry = spec_entries.get(entry.subject)
+            if spec_entry is None:
+                drifts.append(f"unknown spec {entry.subject!r} in corpus")
+                continue
+            ok, detail = replay_entry(entry, spec_entry.spec)
+        elif entry.engine == "machine":
+            machine_entry = machine_entries.get(entry.subject)
+            if machine_entry is None:
+                drifts.append(f"unknown machine {entry.subject!r} in corpus")
+                continue
+            ok, detail = replay_machine_entry(entry, machine_entry)
+        else:
+            # Differential entries carry free-form reproducers; nothing
+            # generic to recheck without the original oracle pairing.
+            continue
+        if not ok:
+            drifts.append(f"{entry.engine}/{entry.subject}: {detail}")
+    return checked, drifts

@@ -1,0 +1,124 @@
+"""Minimizers: shrink failing byte strings and event sequences.
+
+Every engine minimizes a failure before reporting it — a counterexample
+you can read beats one you must bisect by hand.  Both shrinkers are
+greedy delta-debugging loops over a caller-supplied predicate
+("does this smaller input still fail the same way?"), bounded by an
+evaluation budget so a pathological predicate cannot hang a run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class _Budget:
+    """Counts predicate evaluations; returns False once exhausted."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink_bytes(
+    data: bytes,
+    still_fails: Callable[[bytes], bool],
+    max_evaluations: int = 2000,
+) -> bytes:
+    """The smallest byte string the shrinker found that still fails.
+
+    Three passes, iterated to fixpoint: remove chunks (halves, then
+    quarters, ... down to single bytes), zero bytes, clear single bits.
+    The result always satisfies ``still_fails`` (the original is returned
+    unchanged if nothing smaller does).
+    """
+    budget = _Budget(max_evaluations)
+    current = data
+    improved = True
+    while improved:
+        improved = False
+        # Pass 1: cut chunks, coarse to fine.
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk :]
+                if candidate != current and budget.spend() and still_fails(candidate):
+                    current = candidate
+                    improved = True
+                else:
+                    start += chunk
+                if budget.used >= budget.limit:
+                    return current
+            chunk //= 2
+        # Pass 2: zero bytes (simpler content at equal length).
+        for index in range(len(current)):
+            if current[index] == 0:
+                continue
+            candidate = current[:index] + b"\x00" + current[index + 1 :]
+            if budget.spend() and still_fails(candidate):
+                current = candidate
+                improved = True
+            if budget.used >= budget.limit:
+                return current
+        # Pass 3: clear single bits (highest first keeps values small).
+        for index in range(len(current)):
+            byte = current[index]
+            for bit in range(7, -1, -1):
+                mask = 1 << bit
+                if not byte & mask:
+                    continue
+                candidate = (
+                    current[:index] + bytes((byte & ~mask,)) + current[index + 1 :]
+                )
+                if budget.spend() and still_fails(candidate):
+                    current = candidate
+                    byte &= ~mask
+                    improved = True
+                if budget.used >= budget.limit:
+                    return current
+    return current
+
+
+def shrink_sequence(
+    items: Sequence[T],
+    still_fails: Callable[[List[T]], bool],
+    max_evaluations: int = 1000,
+) -> List[T]:
+    """The shortest subsequence found that still fails.
+
+    Removes runs (halves down to single items), iterated to fixpoint.
+    Items are opaque — event steps, mutation records, anything — and the
+    returned list always satisfies ``still_fails``.
+    """
+    budget = _Budget(max_evaluations)
+    current = list(items)
+    improved = True
+    while improved and len(current) > 1:
+        improved = False
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk :]
+                if (
+                    len(candidate) != len(current)
+                    and budget.spend()
+                    and still_fails(candidate)
+                ):
+                    current = candidate
+                    improved = True
+                else:
+                    start += chunk
+                if budget.used >= budget.limit:
+                    return current
+            chunk //= 2
+    return current

@@ -121,6 +121,17 @@ def encode_verbatim(
     return encoded
 
 
+def field_spans(spec: Any, values: Mapping[str, Any]) -> Dict[str, Span]:
+    """Each field's encoded bit span for a complete value environment.
+
+    The spans index into the buffer :func:`encode_verbatim` would produce
+    for the same values; structure-aware tooling (the conformance fuzzer)
+    uses them to aim mutations at individual fields.
+    """
+    _, spans = _encode_fields(spec, values)
+    return spans
+
+
 def _record_codec(
     obs: Instrumentation, op: str, spec_name: str, size: int, elapsed: float
 ) -> None:

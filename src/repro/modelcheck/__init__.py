@@ -19,6 +19,7 @@ from repro.modelcheck.explicit import (
     ModelCheckResult,
     check_invariant,
     explore,
+    successors_of,
 )
 from repro.modelcheck.product import (
     CompositionError,
@@ -50,6 +51,7 @@ from repro.modelcheck.petri import (
 
 __all__ = [
     "explore",
+    "successors_of",
     "check_invariant",
     "ModelCheckResult",
     "CounterExample",

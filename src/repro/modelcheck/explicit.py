@@ -200,6 +200,31 @@ def explore(
     )
 
 
+def successors_of(
+    spec: MachineSpec,
+    transition: TransitionSpec,
+    current: StateInstance,
+    input_domains: Optional[InputDomains] = None,
+    abstraction: Optional[int] = None,
+) -> Tuple[List[StateInstance], bool]:
+    """One-step model semantics: targets of ``transition`` from ``current``.
+
+    Returns ``(targets, approximated)`` where ``approximated`` is True when
+    the model had to over- or under-approximate — a callable (payload-
+    dependent) guard was treated as may-fire, or the transition declares
+    inputs without a caller-supplied domain (no targets enumerable).
+
+    This is the same semantics :func:`explore` applies edge by edge,
+    exposed for on-the-fly conformance checking against the runtime —
+    usable even when the full reachable space is unbounded.
+    """
+    approximated: List[str] = []
+    targets = _successors(
+        spec, transition, current, input_domains, abstraction, approximated
+    )
+    return targets, bool(approximated)
+
+
 def _successors(
     spec: MachineSpec,
     transition: TransitionSpec,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.codec import DecodeError
 from repro.core.fields import (
@@ -64,7 +64,7 @@ def _random_integer_value(field_obj: UInt, rng: random.Random) -> int:
 
 def random_packet(
     spec: PacketSpec,
-    rng: Optional[random.Random] = None,
+    rng: Union[int, random.Random, None] = None,
     max_attempts: int = 200,
     max_variable_bytes: int = 64,
 ) -> Packet:
@@ -74,8 +74,18 @@ def random_packet(
     sized by evaluating their shape expressions against the drawn values.
     Draws whose expressions come out negative (or that fail the spec's
     own semantic constraints beyond computed checksums) are retried.
+
+    ``rng`` may be an ``int`` seed or a ``random.Random`` instance; the
+    default is seed 0.  Generation is fully deterministic in the RNG
+    state: the same seed (or an equally-advanced ``Random``) yields the
+    same packet for the same spec, which is what makes fuzz findings and
+    conformance runs replayable.  Pass a shared ``Random`` instance to
+    draw *different* packets across successive calls.
     """
-    rng = rng or random.Random(0)
+    if rng is None:
+        rng = random.Random(0)
+    elif isinstance(rng, int):
+        rng = random.Random(rng)
     for _ in range(max_attempts):
         values: Dict[str, Any] = {}
         env: Dict[str, int] = {}

@@ -26,9 +26,21 @@ from repro.core.codec import DecodeError
 from repro.core.packet import VerificationError
 from repro.protocols.arq import ARQ_PACKET
 from repro.protocols.dns import DNS_HEADER
+from repro.protocols.handshake import HANDSHAKE_PACKET
 from repro.protocols.headers import ICMP_ECHO, IPV4_HEADER, TCP_HEADER, UDP_HEADER
+from repro.protocols.sliding import SLIDING_ACK, SLIDING_PACKET
 
-ALL_SPECS = [ARQ_PACKET, IPV4_HEADER, UDP_HEADER, TCP_HEADER, ICMP_ECHO, DNS_HEADER]
+ALL_SPECS = [
+    ARQ_PACKET,
+    IPV4_HEADER,
+    UDP_HEADER,
+    TCP_HEADER,
+    ICMP_ECHO,
+    DNS_HEADER,
+    HANDSHAKE_PACKET,
+    SLIDING_PACKET,
+    SLIDING_ACK,
+]
 
 
 class TestDecoderFuzz:

@@ -1,0 +1,148 @@
+"""Property tests for the simulator's cancel/timer accounting.
+
+The simulator promises exact live-event accounting under any
+interleaving of schedule, cancel, and fire:
+
+* ``events_pending`` always equals the number of scheduled-but-unfired,
+  uncancelled events;
+* cancelled tombstones never consume a ``max_events`` budget slot and
+  never count as processed;
+* cancelling twice, or cancelling an already-fired event, is a no-op.
+
+Hypothesis drives random interleavings of those operations and checks
+the invariants after every step — the regression net for the O(1)
+tombstone-cancellation scheme.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.simulator import Simulator
+
+# One step of an interleaving: (op, a, b) where the integers parameterize
+# the op (delay choice, victim index, budget size).
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "cancel", "step", "run_budget", "double_cancel"]),
+        st.integers(0, 7),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Model:
+    """Reference bookkeeping mirrored alongside the real simulator."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.events = []  # every Event ever scheduled, in order
+        self.fired = []
+
+    def live(self):
+        return [
+            e for e in self.events if not e.fired and not e.cancelled
+        ]
+
+
+class TestCancelTimerAccounting:
+    @given(steps=_steps)
+    @settings(max_examples=200, deadline=None)
+    def test_events_pending_matches_reference_model(self, steps):
+        model = _Model()
+        sim = model.sim
+        for op, a, b in steps:
+            if op == "schedule":
+                event = sim.schedule(a * 0.25, lambda: model.fired.append(None))
+                model.events.append(event)
+            elif op in ("cancel", "double_cancel"):
+                if model.events:
+                    victim = model.events[a % len(model.events)]
+                    victim.cancel()
+                    if op == "double_cancel":
+                        victim.cancel()  # must be a no-op
+            elif op == "step":
+                before = len(model.live())
+                progressed = sim.step()
+                assert progressed == (before > 0)
+            elif op == "run_budget":
+                processed_before = sim.events_processed
+                live_before = len(model.live())
+                sim.run(max_events=b)
+                # The budget bounds *executed* events; tombstones skipped
+                # along the way never consume a slot.
+                executed = sim.events_processed - processed_before
+                assert executed == min(b, live_before)
+            # The core invariant, after every operation.
+            assert sim.events_pending == len(model.live())
+            assert sim.events_pending >= 0
+            assert sim.events_pending <= sim.pending
+
+    @given(
+        delays=st.lists(st.integers(0, 10), min_size=1, max_size=20),
+        cancel_mask=st.integers(0, 2**20 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cancelled_events_never_fire_and_never_bill_the_budget(
+        self, delays, cancel_mask
+    ):
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(d * 0.5, lambda i=i: fired.append(i))
+            for i, d in enumerate(delays)
+        ]
+        cancelled = {
+            i for i, e in enumerate(events) if (cancel_mask >> i) & 1
+        }
+        for i in cancelled:
+            events[i].cancel()
+        live = len(events) - len(cancelled)
+        assert sim.events_pending == live
+        # A budget exactly equal to the live count must drain everything:
+        # if tombstones billed the budget this would fall short.
+        sim.run(max_events=live)
+        assert sorted(fired) == sorted(set(range(len(events))) - cancelled)
+        assert sim.events_processed == live
+        assert sim.events_pending == 0
+
+    @given(budget=st.integers(0, 5), extra=st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_max_events_budget_is_exact(self, budget, extra):
+        sim = Simulator()
+        fired = []
+        total = budget + extra
+        for i in range(total):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=budget)
+        assert len(fired) == min(budget, total)
+        assert sim.events_pending == total - len(fired)
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+        event.cancel()  # already fired: accounting must not go negative
+        assert sim.events_pending == 0
+        assert sim.pending == 0
+
+    @given(steps=_steps)
+    @settings(max_examples=100, deadline=None)
+    def test_clock_is_monotone_under_any_interleaving(self, steps):
+        model = _Model()
+        sim = model.sim
+        last = sim.now
+        for op, a, b in steps:
+            if op == "schedule":
+                model.events.append(sim.schedule(a * 0.25, lambda: None))
+            elif op in ("cancel", "double_cancel") and model.events:
+                model.events[a % len(model.events)].cancel()
+            elif op == "step":
+                sim.step()
+            elif op == "run_budget":
+                sim.run(max_events=b)
+            assert sim.now >= last
+            last = sim.now

@@ -12,6 +12,7 @@ import time
 
 from conftest import record_table
 
+from repro import fastpath
 from repro.core.compile import compile_spec
 from repro.protocols.arq import ARQ_PACKET
 from repro.protocols.headers import IPV4_HEADER, UDP_HEADER
@@ -88,9 +89,13 @@ def test_staging_speedup(benchmark):
         packet = next(p for n, s, p in corpus() if n == name)
         codec = compile_spec(spec)
         wire = spec.encode(packet)
-        interp_parse = _time(spec.decode, wire)
+        # Pin the fast path off for the interpreted lane: under the
+        # default "auto" policy these loops would cross the compile
+        # threshold and silently time generated code against itself.
+        with fastpath.use(mode="off"):
+            interp_parse = _time(spec.decode, wire)
+            interp_build = _time(spec.encode, packet)
         gen_parse = _time(codec.parse, wire)
-        interp_build = _time(spec.encode, packet)
         gen_build = _time(codec.build, packet.values)
         rows.append(
             (

@@ -1,0 +1,216 @@
+"""Packets-per-second harness: interpreted vs compiled vs batch tiers.
+
+The ROADMAP's north star says generated implementations should run "as
+fast as the hardware allows"; this harness turns that into a number and
+a regression gate.  For every spec in the conformance registry it
+measures round-trip throughput (one encode + one decode per packet) in
+three tiers:
+
+``interpreted``
+    ``repro.fastpath`` pinned off — the field-by-field codec walk.
+``compiled``
+    ``mode="always"`` — the generated closures via the transparent
+    fast path, per-call entry points.
+``batch``
+    ``encode_many``/``decode_many`` — compiled closures plus amortized
+    per-call overhead.
+
+Results go to ``BENCH_perf.json`` (schema ``repro.fastpath/perf/v1``),
+the baseline every future perf PR is compared against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py --budget 0.05
+    PYTHONPATH=src python benchmarks/perf_harness.py --check  # CI gate
+
+``--check`` exits nonzero if any spec's compiled tier is slower than its
+interpreted tier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import fastpath
+from repro.conformance.registry import all_spec_entries
+from repro.core import codec
+from repro.fastpath import batch
+
+SCHEMA = "repro.fastpath/perf/v1"
+CORPUS_SIZE = 64  # distinct packets per spec, round-robined each rep
+
+
+def build_corpus(seed: int) -> Dict[str, Dict[str, Any]]:
+    """Deterministic per-spec packet corpora from the registry generators."""
+    corpus: Dict[str, Dict[str, Any]] = {}
+    for entry in all_spec_entries():
+        rng = random.Random(seed)
+        packets = [entry.generate(rng) for _ in range(CORPUS_SIZE)]
+        values = [p._values for p in packets]
+        wires = [entry.spec.encode(p) for p in packets]
+        corpus[entry.name] = {
+            "spec": entry.spec,
+            "values": values,
+            "wires": wires,
+            "bytes": sum(len(w) for w in wires),
+        }
+    return corpus
+
+
+def _roundtrip_single(spec: Any, values: List[dict], wires: List[bytes]) -> None:
+    # Retain results just like the batch APIs do — discarding each 33KB
+    # UdpDatagram blob immediately would recycle one cache-hot allocator
+    # block and flatter this tier by ~3x on large-payload corpora.
+    encode = codec.encode_verbatim
+    decode = codec.decode_packet
+    encoded = [encode(spec, value_env) for value_env in values]
+    decoded = [decode(spec, wire) for wire in wires]
+    del encoded, decoded
+
+
+def _roundtrip_batch(spec: Any, values: List[dict], wires: List[bytes]) -> None:
+    batch.encode_many(spec, values)
+    batch.decode_many(spec, wires)
+
+
+def measure(
+    runner: Callable[[Any, List[dict], List[bytes]], None],
+    spec: Any,
+    values: List[dict],
+    wires: List[bytes],
+    budget_seconds: float,
+) -> Dict[str, Any]:
+    """Best-of-reps round-trip rate, spending ~``budget_seconds``."""
+    runner(spec, values, wires)  # warm-up: compiles, caches, allocator
+    reps = 0
+    best = float("inf")
+    spent = 0.0
+    while reps < 3 or spent < budget_seconds:
+        start = time.perf_counter()
+        runner(spec, values, wires)
+        elapsed = time.perf_counter() - start
+        spent += elapsed
+        best = min(best, elapsed)
+        reps += 1
+        if reps >= 1000:  # tiny specs on tiny budgets: enough is enough
+            break
+    packets = len(values)
+    return {
+        "reps": reps,
+        "best_seconds": best,
+        "packets_per_second": packets / best,
+        "roundtrips": packets,
+    }
+
+
+TIERS = ("interpreted", "compiled", "batch")
+
+
+def run(seed: int, budget_seconds: float) -> Dict[str, Any]:
+    corpus = build_corpus(seed)
+    results: Dict[str, Any] = {}
+    for name, bundle in sorted(corpus.items()):
+        spec, values, wires = bundle["spec"], bundle["values"], bundle["wires"]
+        per_spec: Dict[str, Any] = {
+            "wire_bytes": bundle["bytes"],
+            "corpus_packets": len(values),
+        }
+        with fastpath.use(mode="off"):
+            per_spec["interpreted"] = measure(
+                _roundtrip_single, spec, values, wires, budget_seconds
+            )
+        with fastpath.use(mode="always"):
+            per_spec["compiled"] = measure(
+                _roundtrip_single, spec, values, wires, budget_seconds
+            )
+            state = fastpath.state_of(spec)
+            per_spec["tier_used"] = state.status if state else "interpreted"
+            per_spec["batch"] = measure(
+                _roundtrip_batch, spec, values, wires, budget_seconds
+            )
+        interp = per_spec["interpreted"]["packets_per_second"]
+        per_spec["compiled_speedup"] = (
+            per_spec["compiled"]["packets_per_second"] / interp
+        )
+        per_spec["batch_speedup"] = per_spec["batch"]["packets_per_second"] / interp
+        results[name] = per_spec
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "budget_seconds": budget_seconds,
+        "metric": "round-trip packets/sec (1 encode + 1 decode per packet)",
+        "specs": results,
+        "fastpath_stats": fastpath.stats(),
+    }
+
+
+def render(report: Dict[str, Any]) -> str:
+    lines = [
+        f"{'spec':<18} {'interp pps':>12} {'compiled pps':>13} "
+        f"{'batch pps':>12} {'comp x':>7} {'batch x':>8}  tier"
+    ]
+    for name, row in report["specs"].items():
+        lines.append(
+            f"{name:<18} "
+            f"{row['interpreted']['packets_per_second']:>12.0f} "
+            f"{row['compiled']['packets_per_second']:>13.0f} "
+            f"{row['batch']['packets_per_second']:>12.0f} "
+            f"{row['compiled_speedup']:>6.2f}x "
+            f"{row['batch_speedup']:>7.2f}x  {row['tier_used']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="measurement budget per spec per tier (default: 0.2)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        metavar="FILE",
+        help="where to write the JSON report (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any spec's compiled tier is slower than interpreted",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.seed, args.budget)
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(render(report))
+    print(f"\nwrote {args.output}")
+    if args.check:
+        slower = [
+            name
+            for name, row in report["specs"].items()
+            if row["compiled_speedup"] < 1.0
+        ]
+        if slower:
+            print(
+                "PERF REGRESSION: compiled tier slower than the interpreter "
+                f"for: {', '.join(sorted(slower))}",
+                file=sys.stderr,
+            )
+            return 1
+        print("perf check OK: compiled tier >= interpreter on every spec")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

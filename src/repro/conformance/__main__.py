@@ -72,11 +72,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    parser.add_argument(
+        "--fastpath",
+        choices=("off", "auto", "always", "verify"),
+        default=None,
+        help=(
+            "compiled-codec tier policy for this run: off / auto / always, "
+            "or 'verify' (= always, with every compiled result cross-checked "
+            "against the interpreter); default: the process policy"
+        ),
+    )
     return parser
+
+
+def _apply_fastpath(choice: Optional[str]) -> None:
+    if choice is None:
+        return
+    from repro.fastpath import FastPath, set_policy
+
+    if choice == "verify":
+        set_policy(FastPath(mode="always", verify=True))
+    else:
+        set_policy(FastPath(mode=choice))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_fastpath(args.fastpath)
     if args.replay:
         checked, drifts = replay_corpus(args.replay)
         print(f"replayed {checked} corpus entr{'y' if checked == 1 else 'ies'}")

@@ -29,7 +29,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.codec import DecodeError, field_spans
+from repro.core.codec import DecodeError, encode_with_spans
 from repro.core.packet import PacketSpec, VerificationError
 from repro.conformance.corpus import Corpus, CorpusEntry
 from repro.conformance.coverage import FIELD_MUTATIONS, CoverageMap
@@ -144,13 +144,16 @@ class MutationFuzzer:
     # -- input construction ----------------------------------------------
 
     def _fresh_base(self) -> Optional[Tuple[bytes, Dict[str, Tuple[int, int]]]]:
-        """A valid encoding plus its field spans; None if generation fails."""
+        """A valid encoding plus its field spans; None if generation fails.
+
+        One ``encode_with_spans`` pass produces both — spans used to come
+        from a second, redundant encode of the same packet.
+        """
         try:
             packet = self.entry.generate(self.rng)
         except GenerationError:
             return None
-        wire = self.spec.encode(packet)
-        return wire, field_spans(self.spec, packet.values)
+        return encode_with_spans(self.spec, packet.values)
 
     def _pick_strategy(self, spans: Dict[str, Tuple[int, int]]) -> str:
         """Field names and framing ops compete on coverage, least-hit first."""

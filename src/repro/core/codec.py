@@ -14,6 +14,14 @@ Decoding (:func:`decode_packet`) walks fields in order, feeding previously
 decoded integer values into the environment so dependent shapes (lengths,
 switch discriminators) resolve — the operational reading of the paper's
 dependent records.
+
+Both entry points consult ``repro.fastpath`` first: when the process-wide
+policy has compiled a spec (see ``repro.fastpath.cache``), the generated
+closures run instead of the interpretive walk, with the interpreter kept
+as the error oracle — a compiled closure that raises is re-run through
+the interpreter so callers always see the canonical exception, and a
+closure that *diverges* (errors where the interpreter succeeds, or
+mismatches under ``verify``) demotes its spec back to interpretation.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.fields import ChecksumField, Field, FieldValueError
-from repro.obs.instrument import Instrumentation, get_default
+from repro.fastpath.cache import active_state as _fp_active
+from repro.fastpath.cache import demote as _fp_cache_demote
+from repro.obs.instrument import NULL_OBS, Instrumentation, get_default
 from repro.wire.bits import BitReader, BitWriter
 
 
@@ -46,31 +56,46 @@ Span = Tuple[int, int]  # (start_bit, end_bit), half-open
 
 
 def _extract_bits(buffer: bytes, start_bit: int, end_bit: int) -> bytes:
-    """Extract the half-open bit range as bytes (must be a whole byte count)."""
+    """Extract the half-open bit range as bytes (must be a whole byte count).
+
+    Unaligned ranges are one bulk ``int.from_bytes`` over the touched
+    bytes plus a shift — not a per-byte read loop.
+    """
     width = end_bit - start_bit
     if width % 8 != 0:
         raise ValueError(
             f"bit range [{start_bit}, {end_bit}) spans {width} bits, "
             "which is not a whole number of bytes"
         )
+    if end_bit > len(buffer) * 8:
+        raise ValueError(
+            f"bit range [{start_bit}, {end_bit}) runs past the end of a "
+            f"{len(buffer)}-byte buffer"
+        )
     if start_bit % 8 == 0:
         return buffer[start_bit // 8 : end_bit // 8]
-    reader = BitReader(buffer)
-    reader.read_uint(start_bit)  # discard the prefix before the span
-    return bytes(reader.read_uint(8) for _ in range(width // 8))
+    byte_end = (end_bit + 7) >> 3
+    chunk = int.from_bytes(buffer[start_bit >> 3 : byte_end], "big")
+    chunk >>= (byte_end << 3) - end_bit
+    return (chunk & ((1 << width) - 1)).to_bytes(width >> 3, "big")
 
 
 def _patch_bits(buffer: bytearray, start_bit: int, width: int, value: int) -> None:
-    """Overwrite ``width`` bits of ``buffer`` at ``start_bit`` with ``value``."""
-    for offset in range(width):
-        bit = (value >> (width - 1 - offset)) & 1
-        position = start_bit + offset
-        byte_index = position // 8
-        mask = 1 << (7 - position % 8)
-        if bit:
-            buffer[byte_index] |= mask
-        else:
-            buffer[byte_index] &= ~mask & 0xFF
+    """Overwrite ``width`` bits of ``buffer`` at ``start_bit`` with ``value``.
+
+    Bulk mask arithmetic over the touched byte span; no per-bit loop.
+    """
+    if width <= 0:
+        return
+    end = start_bit + width
+    first = start_bit >> 3
+    byte_end = (end + 7) >> 3
+    shift = (byte_end << 3) - end
+    mask = ((1 << width) - 1) << shift
+    span = int.from_bytes(buffer[first:byte_end], "big")
+    buffer[first:byte_end] = ((span & ~mask) | ((value << shift) & mask)).to_bytes(
+        byte_end - first, "big"
+    )
 
 
 def _zeroed(buffer: bytes, span: Span) -> bytes:
@@ -101,10 +126,97 @@ def _encode_fields(
     return writer.getvalue(), spans
 
 
+# Compiled-closure errors that trigger the interpreter-as-oracle rerun.
+# Anything a generated parse/build can plausibly raise on bad input; the
+# rerun either reproduces the canonical interpreted error (agreement) or
+# succeeds, which is a divergence and demotes the spec.
+_FALLBACK_ERRORS = (ValueError, TypeError, OverflowError, KeyError, IndexError)
+
+
+def _fp_demote(
+    spec: Any, state: Any, reason: str, obs: Optional[Instrumentation]
+) -> None:
+    """Demote a diverging spec and count the divergence in repro.obs."""
+    _fp_cache_demote(state, reason)
+    if obs is None:
+        obs = get_default()
+    if obs.enabled:
+        obs.registry.counter(
+            "fastpath.divergences", spec=spec.name, reason=reason
+        ).inc()
+
+
+def _fast_encode(
+    spec: Any, state: Any, values: Mapping[str, Any], obs: Optional[Instrumentation]
+) -> bytes:
+    """Encode via the compiled closure, interpreter as error oracle."""
+    try:
+        encoded = state.codec.build(values)
+    except _FALLBACK_ERRORS:
+        # If the interpreter also rejects, its (canonical) error
+        # propagates and the two tiers agree; if it succeeds, the
+        # compiled closure was wrong to raise — a real divergence.
+        encoded, _ = _encode_fields(spec, values)
+        _fp_demote(spec, state, "encode-error", obs)
+        return encoded
+    if state.verify:
+        expected, _ = _encode_fields(spec, values)
+        if encoded != expected:
+            _fp_demote(spec, state, "encode-mismatch", obs)
+            return expected
+    return encoded
+
+
+def _fast_encode_spans(
+    spec: Any, state: Any, values: Mapping[str, Any], obs: Optional[Instrumentation]
+) -> Tuple[bytes, Dict[str, Span]]:
+    """Like :func:`_fast_encode` but also returns per-field bit spans."""
+    spans: Dict[str, Span] = {}
+    try:
+        encoded = state.codec.build(values, spans)
+    except _FALLBACK_ERRORS:
+        encoded, spans = _encode_fields(spec, values)
+        _fp_demote(spec, state, "encode-error", obs)
+        return encoded, spans
+    if state.verify:
+        expected, expected_spans = _encode_fields(spec, values)
+        if encoded != expected or spans != expected_spans:
+            _fp_demote(spec, state, "encode-mismatch", obs)
+            return expected, expected_spans
+    return encoded, spans
+
+
+def _fast_decode(
+    spec: Any, state: Any, data: bytes, obs: Optional[Instrumentation]
+) -> Dict[str, Any]:
+    """Decode via the compiled closure, interpreter as error oracle."""
+    try:
+        values = state.codec.parse(data)
+    except _FALLBACK_ERRORS:
+        # Interpreter rerun: canonical DecodeError on agreement,
+        # divergence demotion when it succeeds where compiled raised.
+        values = _decode_fields(spec, data)
+        _fp_demote(spec, state, "decode-error", obs)
+        return values
+    if state.verify:
+        try:
+            expected = _decode_fields(spec, data)
+        except DecodeError:
+            _fp_demote(spec, state, "decode-mismatch", obs)
+            raise
+        if values != expected:
+            _fp_demote(spec, state, "decode-mismatch", obs)
+            return expected
+    return values
+
+
 def encode_verbatim(
     spec: Any, values: Mapping[str, Any], obs: Optional[Instrumentation] = None
 ) -> bytes:
     """Encode a complete value environment exactly as given.
+
+    Dispatches to the compiled tier when the fast-path policy has
+    promoted this spec (``repro.fastpath``); semantics are unchanged.
 
     ``obs`` (default: the process-wide instrumentation) records, when
     enabled, an encode-latency histogram and bytes/packets counters
@@ -113,12 +225,46 @@ def encode_verbatim(
     if obs is None:
         obs = get_default()
     if not obs.enabled:
+        state = _fp_active(spec)
+        if state is not None:
+            return _fast_encode(spec, state, values, obs)
         encoded, _ = _encode_fields(spec, values)
         return encoded
     start = time.perf_counter()
-    encoded, _ = _encode_fields(spec, values)
+    state = _fp_active(spec)
+    if state is not None:
+        encoded = _fast_encode(spec, state, values, obs)
+    else:
+        encoded, _ = _encode_fields(spec, values)
     _record_codec(obs, "encode", spec.name, len(encoded), time.perf_counter() - start)
     return encoded
+
+
+def encode_with_spans(
+    spec: Any, values: Mapping[str, Any], obs: Optional[Instrumentation] = None
+) -> Tuple[bytes, Dict[str, Span]]:
+    """Encode verbatim and return ``(encoded, spans)`` from one pass.
+
+    Structure-aware tooling (the conformance fuzzer) needs both the wire
+    bytes and each field's bit span; this produces them in a single
+    encode instead of the encode-then-re-encode that ``encode`` +
+    :func:`field_spans` would cost.
+    """
+    if obs is None:
+        obs = get_default()
+    if not obs.enabled:
+        state = _fp_active(spec)
+        if state is not None:
+            return _fast_encode_spans(spec, state, values, obs)
+        return _encode_fields(spec, values)
+    start = time.perf_counter()
+    state = _fp_active(spec)
+    if state is not None:
+        encoded, spans = _fast_encode_spans(spec, state, values, obs)
+    else:
+        encoded, spans = _encode_fields(spec, values)
+    _record_codec(obs, "encode", spec.name, len(encoded), time.perf_counter() - start)
+    return encoded, spans
 
 
 def field_spans(spec: Any, values: Mapping[str, Any]) -> Dict[str, Span]:
@@ -126,20 +272,37 @@ def field_spans(spec: Any, values: Mapping[str, Any]) -> Dict[str, Span]:
 
     The spans index into the buffer :func:`encode_verbatim` would produce
     for the same values; structure-aware tooling (the conformance fuzzer)
-    uses them to aim mutations at individual fields.
+    uses them to aim mutations at individual fields.  Callers that also
+    need the bytes should use :func:`encode_with_spans` and pay one pass.
     """
-    _, spans = _encode_fields(spec, values)
-    return spans
+    return encode_with_spans(spec, values, obs=NULL_OBS)[1]
 
 
 def _record_codec(
     obs: Instrumentation, op: str, spec_name: str, size: int, elapsed: float
 ) -> None:
-    """Shared metric updates for one successful encode/decode."""
+    """Shared metric updates for one successful encode/decode.
+
+    Handles are cached per ``(op, spec)`` in the registry's handle cache
+    — resolving a labeled metric costs a dict lookup plus label sorting,
+    which at packet rates is real money.  ``registry.clear()`` empties
+    the cache; ``reset()`` keeps it (instances survive).
+    """
     registry = obs.registry
-    registry.histogram(f"codec.{op}_seconds", spec=spec_name).observe(elapsed)
-    registry.counter(f"codec.{op}d_packets", spec=spec_name).inc()
-    registry.counter(f"codec.{op}d_bytes", spec=spec_name).inc(size)
+    cache = registry.handle_cache("codec")
+    key = (op, spec_name)
+    handles = cache.get(key)
+    if handles is None:
+        handles = (
+            registry.histogram(f"codec.{op}_seconds", spec=spec_name),
+            registry.counter(f"codec.{op}d_packets", spec=spec_name),
+            registry.counter(f"codec.{op}d_bytes", spec=spec_name),
+        )
+        cache[key] = handles
+    histogram, packets, size_counter = handles
+    histogram.observe(elapsed)
+    packets.inc()
+    size_counter.inc(size)
 
 
 def checksum_cover(
@@ -171,6 +334,26 @@ def compute_checksums(spec: Any, values: Mapping[str, Any]) -> Dict[str, Any]:
     still zero — multi-checksum specs should therefore order dependent
     checksums after their inputs (the spec validator warns otherwise).
     """
+    state = _fp_active(spec)
+    if state is not None:
+        try:
+            working = state.codec.finalize(values)
+        except _FALLBACK_ERRORS:
+            working = _compute_checksums_interpreted(spec, values)
+            _fp_demote(spec, state, "finalize-error", None)
+            return working
+        if state.verify:
+            expected = _compute_checksums_interpreted(spec, values)
+            if working != expected:
+                _fp_demote(spec, state, "finalize-mismatch", None)
+                return expected
+        return working
+    return _compute_checksums_interpreted(spec, values)
+
+
+def _compute_checksums_interpreted(
+    spec: Any, values: Mapping[str, Any]
+) -> Dict[str, Any]:
     working: Dict[str, Any] = dict(values)
     for field in spec.fields:
         if isinstance(field, ChecksumField):
@@ -198,7 +381,11 @@ def compute_one_checksum(spec: Any, values: Mapping[str, Any], field_name: str) 
     field = spec.field_map[field_name]
     if not isinstance(field, ChecksumField):
         raise ValueError(f"{field_name!r} is not a checksum field")
-    buffer, spans = _encode_fields(spec, values)
+    state = _fp_active(spec)
+    if state is not None:
+        buffer, spans = _fast_encode_spans(spec, state, values, None)
+    else:
+        buffer, spans = _encode_fields(spec, values)
     cover = checksum_cover(spec, field, buffer, spans)
     return field.compute(cover)
 
@@ -218,10 +405,17 @@ def decode_packet(
     if obs is None:
         obs = get_default()
     if not obs.enabled:
+        state = _fp_active(spec)
+        if state is not None:
+            return _fast_decode(spec, state, data, obs)
         return _decode_fields(spec, data)
     start = time.perf_counter()
     try:
-        values = _decode_fields(spec, data)
+        state = _fp_active(spec)
+        if state is not None:
+            values = _fast_decode(spec, state, data, obs)
+        else:
+            values = _decode_fields(spec, data)
     except DecodeError as exc:
         obs.registry.counter(
             "codec.decode_errors", spec=spec.name, kind=type(exc).__name__

@@ -50,10 +50,9 @@ def _read_uint(data, bit, width):
     end = bit + width
     if end > len(data) * 8:
         raise ValueError("truncated: need %d bits, have %d" % (end, len(data) * 8))
-    first, last = bit // 8, (end - 1) // 8
-    chunk = int.from_bytes(data[first:last + 1], "big")
-    shift = (last + 1) * 8 - end
-    return (chunk >> shift) & ((1 << width) - 1)
+    byte_end = (end + 7) >> 3
+    chunk = int.from_bytes(data[bit >> 3:byte_end], "big")
+    return (chunk >> ((byte_end << 3) - end)) & ((1 << width) - 1)
 
 
 def _write_uint(out, bitlen, value, width):
@@ -61,13 +60,31 @@ def _write_uint(out, bitlen, value, width):
     if value < 0 or value >> width:
         raise ValueError("value %r does not fit %d bits" % (value, width))
     end = bitlen + width
-    while len(out) * 8 < end:
-        out.append(0)
-    for offset in range(width):
-        if (value >> (width - 1 - offset)) & 1:
-            position = bitlen + offset
-            out[position // 8] |= 1 << (7 - position % 8)
+    if bitlen & 7 == 0 and width & 7 == 0:
+        out += value.to_bytes(width >> 3, "big")
+        return end
+    byte_end = (end + 7) >> 3
+    if len(out) < byte_end:
+        out.extend(b"\\x00" * (byte_end - len(out)))
+    first = bitlen >> 3
+    shift = (byte_end << 3) - end
+    span = int.from_bytes(out[first:byte_end], "big") | (value << shift)
+    out[first:byte_end] = span.to_bytes(byte_end - first, "big")
     return end
+
+
+def _patch_uint(out, bit, width, value):
+    """Overwrite ``width`` bits of bytearray ``out`` at ``bit`` with ``value``."""
+    if width <= 0:
+        return
+    end = bit + width
+    first = bit >> 3
+    byte_end = (end + 7) >> 3
+    shift = (byte_end << 3) - end
+    mask = ((1 << width) - 1) << shift
+    span = int.from_bytes(out[first:byte_end], "big")
+    out[first:byte_end] = ((span & ~mask) | ((value << shift) & mask)).to_bytes(
+        byte_end - first, "big")
 '''
 
 _ALGORITHM_SOURCES: Dict[str, str] = {
@@ -200,8 +217,32 @@ def _check_checksum_alignment(spec: Any) -> None:
                 )
 
 
+_EXACT_FIELD_TYPES = (UInt, Flag, Reserved, Bytes, UIntList, ChecksumField)
+
+
+def _check_exact_field_types(spec: Any) -> None:
+    """Refuse subclassed fields: their overrides cannot be staged.
+
+    The generator emits code from a field's *declared structure*; a
+    subclass may override ``encode``/``decode`` with arbitrary Python
+    (test harnesses inject faults exactly this way), which generated
+    code would silently ignore.  Refusing keeps compiled and interpreted
+    tiers semantically identical.
+    """
+    for field in spec.fields:
+        if type(field) not in _EXACT_FIELD_TYPES and not isinstance(
+            field, (Struct, Switch)
+        ):
+            raise CodegenError(
+                f"spec {spec.name!r}: field {field.name!r} is a "
+                f"{type(field).__name__}, a subclass the code generator "
+                "cannot stage faithfully"
+            )
+
+
 def generate_codec_source(spec: Any) -> str:
     """Emit standalone Python source implementing ``spec``'s codec."""
+    _check_exact_field_types(spec)
     _check_checksum_alignment(spec)
     name = spec.name.lower()
     parse_lines = _generate_parse(spec)
@@ -254,6 +295,18 @@ def generate_codec_source(spec: Any) -> str:
     return "\n".join(parts)
 
 
+def _is_fusable(field: Any) -> bool:
+    """True for fixed-width big-endian scalars that can share one word read.
+
+    Runs of such fields are lowered to a single bulk read (or write) of
+    the combined width plus shift/mask extraction per field — the key
+    speedup over per-field interpretive dispatch for header-style specs.
+    """
+    if isinstance(field, UInt):
+        return field.byteorder is ByteOrder.BIG
+    return isinstance(field, (Flag, Reserved, ChecksumField))
+
+
 def _generate_parse(spec: Any) -> List[str]:
     name = spec.name.lower()
     lines = [
@@ -263,9 +316,24 @@ def _generate_parse(spec: Any) -> List[str]:
         "    bit = 0",
     ]
     layout = _Layout(0, 0)
-    for field in spec.fields:
-        lines.extend(_parse_field(spec, field, layout))
-        layout = _advance(layout, field.fixed_bit_width())
+    fields = list(spec.fields)
+    index = 0
+    while index < len(fields):
+        field = fields[index]
+        if _is_fusable(field):
+            run = [field]
+            while index + len(run) < len(fields) and _is_fusable(
+                fields[index + len(run)]
+            ):
+                run.append(fields[index + len(run)])
+            lines.extend(_parse_run(run, layout))
+            for fused in run:
+                layout = _advance(layout, fused.fixed_bit_width())
+            index += len(run)
+        else:
+            lines.extend(_parse_field(spec, field, layout))
+            layout = _advance(layout, field.fixed_bit_width())
+            index += 1
     lines.append("    if bit != len(data) * 8:")
     lines.append(
         "        raise ValueError('trailing data: %d bits unconsumed' % "
@@ -275,37 +343,48 @@ def _generate_parse(spec: Any) -> List[str]:
     return lines
 
 
+def _parse_run(run: List[Any], layout: _Layout) -> List[str]:
+    """One bulk word read covering a run of fixed-width scalar fields."""
+    total = sum(field.fixed_bit_width() for field in run)
+    lines: List[str] = []
+    if (
+        layout.alignment == 0
+        and total % 8 == 0
+        and layout.static_bit is not None
+    ):
+        start = layout.static_bit // 8
+        end = start + total // 8
+        lines.append(f"    if len(data) < {end}:")
+        lines.append(f"        raise ValueError('truncated at field {run[0].name}')")
+        lines.append(f"    _w = int.from_bytes(data[{start}:{end}], 'big')")
+    else:
+        lines.append(f"    _w = _read_uint(data, bit, {total})")
+    offset = total
+    for field in run:
+        width = field.fixed_bit_width()
+        offset -= width
+        source = f"(_w >> {offset})" if offset else "_w"
+        if isinstance(field, Flag):
+            lines.append(f"    values[{field.name!r}] = bool({source} & 1)")
+        else:
+            lines.append(
+                f"    values[{field.name!r}] = {source} & {(1 << width) - 1:#x}"
+            )
+    lines.append(f"    bit += {total}")
+    return lines
+
+
 def _parse_field(spec: Any, field: Any, layout: _Layout) -> List[str]:
     name = field.name
     lines: List[str] = []
     width = field.fixed_bit_width()
-    if isinstance(field, (UInt, Flag, Reserved, ChecksumField)):
+    if isinstance(field, UInt) and field.byteorder is ByteOrder.LITTLE:
         assert width is not None
-        little = isinstance(field, UInt) and field.byteorder is ByteOrder.LITTLE
-        if little:
-            lines.append(f"    values[{name!r}] = int.from_bytes(")
-            lines.append(
-                f"        _read_uint(data, bit, {width}).to_bytes({width // 8}, 'big'),"
-            )
-            lines.append("        'little')")
-        elif (
-            layout.alignment == 0
-            and width % 8 == 0
-            and layout.static_bit is not None
-        ):
-            start = layout.static_bit // 8
-            end = start + width // 8
-            lines.append(f"    if len(data) < {end}:")
-            lines.append(
-                f"        raise ValueError('truncated at field {name}')"
-            )
-            lines.append(
-                f"    values[{name!r}] = int.from_bytes(data[{start}:{end}], 'big')"
-            )
-        else:
-            lines.append(f"    values[{name!r}] = _read_uint(data, bit, {width})")
-        if isinstance(field, Flag):
-            lines.append(f"    values[{name!r}] = bool(values[{name!r}])")
+        lines.append(f"    values[{name!r}] = int.from_bytes(")
+        lines.append(
+            f"        _read_uint(data, bit, {width}).to_bytes({width // 8}, 'big'),"
+        )
+        lines.append("        'little')")
         lines.append(f"    bit += {width}")
         return lines
     if isinstance(field, Bytes):
@@ -357,9 +436,79 @@ def _generate_build(spec: Any) -> List[str]:
         "    out = bytearray()",
         "    bitlen = 0",
     ]
-    for field in spec.fields:
-        lines.extend(_build_field(spec, field))
+    fields = list(spec.fields)
+    index = 0
+    while index < len(fields):
+        field = fields[index]
+        if _is_fusable(field):
+            run = [field]
+            while index + len(run) < len(fields) and _is_fusable(
+                fields[index + len(run)]
+            ):
+                run.append(fields[index + len(run)])
+            lines.extend(_build_run(run))
+            index += len(run)
+        else:
+            lines.extend(_build_field(spec, field))
+            index += 1
     lines.append("    return bytes(out)")
+    return lines
+
+
+def _build_run(run: List[Any]) -> List[str]:
+    """Accumulate a run of fixed-width scalars into one bulk word write.
+
+    Each field is range-checked individually so error messages still name
+    the offending field, then shifted into a single accumulator flushed
+    with one ``_write_uint`` call.
+    """
+    total = sum(field.fixed_bit_width() for field in run)
+    lines: List[str] = ["    _start = bitlen", "    _w = 0"]
+    for field in run:
+        width = field.fixed_bit_width()
+        lines.append(f"    _v = values[{field.name!r}]")
+        if isinstance(field, Flag):
+            # Same domain the interpreter's Flag.check_value accepts.
+            lines.append(
+                "    if not isinstance(_v, (bool, int)) "
+                "or _v not in (False, True, 0, 1):"
+            )
+            lines.append(
+                f"        raise ValueError('field {field.name}: value %r "
+                "does not fit 1 bits' % (_v,))"
+            )
+            lines.append("    _w = (_w << 1) | (1 if _v else 0)")
+            continue
+        if isinstance(field, UInt):
+            # UInt.check_value takes ints (subclasses included), not bools.
+            lines.append(
+                "    if _v.__class__ is not int and "
+                "(not isinstance(_v, int) or _v.__class__ is bool):"
+            )
+            lines.append(
+                f"        raise ValueError('field {field.name}: expected "
+                "int, got %r' % (_v,))"
+            )
+        elif isinstance(field, Reserved):
+            # Reserved.encode substitutes its fixed value for None.
+            lines.append("    if _v is None:")
+            lines.append(f"        _v = {field.value}")
+        lines.append(f"    if _v < 0 or _v >> {width}:")
+        lines.append(
+            f"        raise ValueError('field {field.name}: value %r "
+            f"does not fit {width} bits' % (_v,))"
+        )
+        lines.append(f"    _w = (_w << {width}) | _v")
+    lines.append(f"    bitlen = _write_uint(out, bitlen, _w, {total})")
+    lines.append("    if _spans is not None:")
+    offset = 0
+    for field in run:
+        width = field.fixed_bit_width()
+        lines.append(
+            f"        _spans[{field.name!r}] = "
+            f"(_start + {offset}, _start + {offset + width})"
+        )
+        offset += width
     return lines
 
 
@@ -367,18 +516,27 @@ def _build_field(spec: Any, field: Any) -> List[str]:
     name = field.name
     lines: List[str] = [f"    _start = bitlen"]
     width = field.fixed_bit_width()
-    if isinstance(field, (UInt, Flag, Reserved, ChecksumField)):
+    if isinstance(field, UInt) and field.byteorder is ByteOrder.LITTLE:
         assert width is not None
-        if isinstance(field, UInt) and field.byteorder is ByteOrder.LITTLE:
-            lines.append(
-                f"    _value = int.from_bytes(int(values[{name!r}])."
-                f"to_bytes({width // 8}, 'little'), 'big')"
-            )
-            lines.append(f"    bitlen = _write_uint(out, bitlen, _value, {width})")
-        else:
-            lines.append(
-                f"    bitlen = _write_uint(out, bitlen, int(values[{name!r}]), {width})"
-            )
+        lines.append(f"    _v = values[{name!r}]")
+        lines.append(
+            "    if _v.__class__ is not int and "
+            "(not isinstance(_v, int) or _v.__class__ is bool):"
+        )
+        lines.append(
+            f"        raise ValueError('field {name}: expected int, "
+            "got %r' % (_v,))"
+        )
+        lines.append(f"    if _v < 0 or _v >> {width}:")
+        lines.append(
+            f"        raise ValueError('field {name}: value %r does not fit "
+            f"{width} bits' % (_v,))"
+        )
+        lines.append(
+            f"    _value = int.from_bytes(_v.to_bytes({width // 8}, "
+            "'little'), 'big')"
+        )
+        lines.append(f"    bitlen = _write_uint(out, bitlen, _value, {width})")
     elif isinstance(field, Bytes):
         lines.append(f"    _data = values[{name!r}]")
         if not field.is_greedy:
@@ -433,20 +591,17 @@ def _generate_finalize(spec: Any) -> List[str]:
     for field in checksum_fields:
         function = _ALGORITHM_FUNCTIONS[field.algorithm.name]
         lines.append(f"    _s, _e = spans[{field.name!r}]")
+        lines.append("    _b = bytes(buf)")
         if field.covers_whole_packet:
-            lines.append("    cover = bytes(buf)")
+            lines.append("    cover = _b")
             lines.append("    # checksum field is still zero in buf, per over='*'")
         else:
             lines.append("    cover = b''.join(")
-            lines.append(
-                "        bytes(buf)[spans[_n][0] // 8:spans[_n][1] // 8]"
-            )
+            lines.append("        _b[spans[_n][0] // 8:spans[_n][1] // 8]")
             lines.append(f"        for _n in {list(field.over)!r})")
         lines.append(f"    _v = {function}(cover)")
         lines.append(f"    work[{field.name!r}] = _v")
-        lines.append(f"    for _i in range({field.bits}):")
-        lines.append(f"        if (_v >> ({field.bits} - 1 - _i)) & 1:")
-        lines.append("            buf[(_s + _i) // 8] |= 1 << (7 - (_s + _i) % 8)")
+        lines.append(f"    _patch_uint(buf, _s, {field.bits}, _v)")
     lines.append("    return work")
     return lines
 
@@ -465,8 +620,7 @@ def _generate_validate(spec: Any) -> List[str]:
             lines.append(f"    buf = bytearray(build_{name}(values, spans))")
             lines.append(f"    _s, _e = spans[{field.name!r}]")
             if field.covers_whole_packet:
-                lines.append("    for _i in range(_s, _e):")
-                lines.append("        buf[_i // 8] &= ~(1 << (7 - _i % 8)) & 0xFF")
+                lines.append("    _patch_uint(buf, _s, _e - _s, 0)")
                 lines.append("    cover = bytes(buf)")
             else:
                 lines.append("    cover = b''.join(")

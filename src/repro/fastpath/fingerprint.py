@@ -1,0 +1,97 @@
+"""Structural fingerprints: the compiled-codec cache key.
+
+Two specs that are structurally identical — same field kinds, names,
+widths, byte orders, symbolic shapes, checksum algorithms and exportable
+constraints — generate byte-identical codecs, so they share one compiled
+entry no matter how many spec *objects* exist.  The spec's display name
+is deliberately excluded: it only decorates generated function names and
+docstrings, never behaviour.
+
+Field *names* are included because they key the value environments the
+generated functions read and the spans they report; renaming a field is a
+structural change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterator
+
+_SEP = "\x1f"  # cannot appear in identifiers, keeps tokens unambiguous
+
+
+def _expr_token(expr: Any) -> str:
+    from repro.core.compile import CodegenError, _expr_code
+
+    try:
+        return _expr_code(expr)
+    except CodegenError:
+        return repr(expr)
+
+
+def _predicate_token(predicate: Any) -> str:
+    from repro.core.compile import CodegenError, _predicate_code
+
+    try:
+        return _predicate_code(predicate)
+    except CodegenError:
+        return repr(predicate)
+
+
+def _tokens(spec: Any) -> Iterator[str]:
+    # Imported lazily: fastpath modules stay import-light so core.codec
+    # can import this package without a cycle through repro.core.
+    from repro.core.fields import (
+        Bytes,
+        ChecksumField,
+        Flag,
+        Reserved,
+        UInt,
+        UIntList,
+    )
+
+    for field in spec.fields:
+        # The *exact* class (module-qualified) leads every token: a
+        # subclassed field (overridden encode/decode) must never share a
+        # fingerprint — and hence a compiled codec, or a cached refusal —
+        # with the plain field of the same shape.
+        cls = type(field)
+        kind = f"{cls.__module__}.{cls.__qualname__}"
+        if isinstance(field, UInt):
+            yield (
+                f"{kind}:{field.name}:{field.bits}:{field.byteorder.value}"
+                f":{field.const}:{sorted(field.enum) if field.enum else None}"
+            )
+        elif isinstance(field, Flag):
+            yield f"{kind}:{field.name}"
+        elif isinstance(field, Reserved):
+            yield f"{kind}:{field.name}:{field.bits}:{field.value}"
+        elif isinstance(field, Bytes):
+            length = None if field.length is None else _expr_token(field.length)
+            yield f"{kind}:{field.name}:{length}"
+        elif isinstance(field, UIntList):
+            yield (
+                f"{kind}:{field.name}:{field.element_bits}"
+                f":{_expr_token(field.count)}"
+            )
+        elif isinstance(field, ChecksumField):
+            over = "*" if field.covers_whole_packet else ",".join(field.over)
+            yield (
+                f"{kind}:{field.name}:{field.algorithm.name}"
+                f":{field.bits}:{over}"
+            )
+        else:
+            # Unsupported kinds (Struct, Switch, future fields) still get
+            # a stable token; compilation will refuse them downstream.
+            yield f"{kind}:{field.name}:{field!r}"
+    for constraint in spec.constraints:
+        if constraint.is_symbolic:
+            yield f"constraint:{constraint.name}:{_predicate_token(constraint.predicate)}"
+        else:
+            yield f"constraint:{constraint.name}:opaque"
+
+
+def fingerprint_of(spec: Any) -> str:
+    """A sha256 hex digest of the spec's structure (name excluded)."""
+    blob = _SEP.join(_tokens(spec)).encode("utf-8", "backslashreplace")
+    return hashlib.sha256(blob).hexdigest()

@@ -45,6 +45,10 @@ class BitWriter:
     Bits are written most-significant-first within each byte, matching the
     numbering used in RFC "ASCII picture" header diagrams.
 
+    Multi-bit writes use bulk shift/mask arithmetic over the affected byte
+    range rather than a per-bit loop; the writer is append-only, so bits
+    past the cursor are always zero and a single OR suffices.
+
     Example
     -------
     >>> w = BitWriter()
@@ -56,19 +60,17 @@ class BitWriter:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
-        self._bit_position = 0  # bits used in the trailing partial byte
+        self._bit_length = 0  # total bits written
 
     @property
     def bit_length(self) -> int:
         """Total number of bits written so far."""
-        if self._bit_position:
-            return (len(self._buffer) - 1) * 8 + self._bit_position
-        return len(self._buffer) * 8
+        return self._bit_length
 
     @property
     def is_byte_aligned(self) -> bool:
         """True when the next write starts on a byte boundary."""
-        return self._bit_position == 0
+        return self._bit_length % 8 == 0
 
     def write_uint(
         self,
@@ -95,25 +97,44 @@ class BitWriter:
                 )
             self.write_bytes(value.to_bytes(bits // 8, "little"))
             return
-        for shift in range(bits - 1, -1, -1):
-            self._write_bit((value >> shift) & 1)
+        start = self._bit_length
+        end = start + bits
+        if start & 7 == 0 and bits & 7 == 0:
+            self._buffer += value.to_bytes(bits >> 3, "big")
+            self._bit_length = end
+            return
+        buffer = self._buffer
+        byte_end = (end + 7) >> 3
+        if len(buffer) < byte_end:
+            buffer.extend(b"\x00" * (byte_end - len(buffer)))
+        first = start >> 3
+        shift = (byte_end << 3) - end
+        span = int.from_bytes(buffer[first:byte_end], "big") | (value << shift)
+        buffer[first:byte_end] = span.to_bytes(byte_end - first, "big")
+        self._bit_length = end
 
     def write_bytes(self, data: bytes) -> None:
         """Write raw bytes; fast path when byte-aligned."""
-        if self._bit_position == 0:
-            self._buffer.extend(data)
+        if self._bit_length % 8 == 0:
+            self._buffer += data
+            self._bit_length += len(data) * 8
             return
-        for byte in data:
-            self.write_uint(byte, 8)
+        if data:
+            self.write_uint(int.from_bytes(data, "big"), len(data) * 8)
 
     def write_bool(self, flag: bool) -> None:
         """Write a single flag bit."""
-        self._write_bit(1 if flag else 0)
+        self.write_uint(1 if flag else 0, 1)
 
     def pad_to_byte(self) -> None:
-        """Write zero bits until the next byte boundary."""
-        while self._bit_position != 0:
-            self._write_bit(0)
+        """Write zero bits until the next byte boundary.
+
+        The trailing partial byte already exists zero-filled, so padding
+        is just advancing the cursor.
+        """
+        remainder = self._bit_length % 8
+        if remainder:
+            self._bit_length += 8 - remainder
 
     def getvalue(self) -> bytes:
         """Return the bytes written so far.
@@ -122,13 +143,6 @@ class BitWriter:
         on the wire.
         """
         return bytes(self._buffer)
-
-    def _write_bit(self, bit: int) -> None:
-        if self._bit_position == 0:
-            self._buffer.append(0)
-        if bit:
-            self._buffer[-1] |= 1 << (7 - self._bit_position)
-        self._bit_position = (self._bit_position + 1) % 8
 
 
 class BitReader:
@@ -173,7 +187,11 @@ class BitReader:
         bits: int,
         byteorder: ByteOrder = ByteOrder.BIG,
     ) -> int:
-        """Read ``bits`` bits as an unsigned integer."""
+        """Read ``bits`` bits as an unsigned integer.
+
+        The read is one bulk ``int.from_bytes`` over the touched byte range
+        plus a shift and mask, regardless of alignment.
+        """
         if bits <= 0:
             raise ValueError(f"bit width must be positive, got {bits}")
         if bits > self.bits_remaining:
@@ -185,10 +203,12 @@ class BitReader:
                     f"got {bits} bits"
                 )
             return int.from_bytes(self.read_bytes(bits // 8), "little")
-        value = 0
-        for _ in range(bits):
-            value = (value << 1) | self._read_bit()
-        return value
+        cursor = self._bit_cursor
+        end = cursor + bits
+        byte_end = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[cursor >> 3 : byte_end], "big")
+        self._bit_cursor = end
+        return (chunk >> ((byte_end << 3) - end)) & ((1 << bits) - 1)
 
     def read_bytes(self, count: int) -> bytes:
         """Read ``count`` raw bytes; fast path when byte-aligned."""

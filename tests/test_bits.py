@@ -1,0 +1,222 @@
+"""Bulk bit arithmetic vs. the old per-bit loop semantics.
+
+This PR replaced the per-bit loops in ``wire.bits`` and the codec's
+``_extract_bits``/``_patch_bits`` with bulk ``int.from_bytes``/shift-mask
+arithmetic.  These tests pin the bulk paths to reference per-bit
+implementations (written out here, mirroring the replaced loops) across
+misaligned offsets, odd widths, and ``ByteOrder.LITTLE`` spans — exactly
+the cases where an off-by-one in a shift silently corrupts wire bytes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.codec import _extract_bits, _patch_bits
+from repro.wire.bits import BitReader, BitWriter, ByteOrder, TruncatedDataError
+
+
+# --- reference per-bit implementations (the replaced loop semantics) ---
+
+
+def ref_write_uint(buffer: bytearray, bit_length: int, value: int, bits: int) -> int:
+    """Append ``bits`` bits of ``value`` one bit at a time; returns new length."""
+    for position in range(bits - 1, -1, -1):
+        bit = (value >> position) & 1
+        if bit_length % 8 == 0:
+            buffer.append(0)
+        buffer[bit_length // 8] |= bit << (7 - bit_length % 8)
+        bit_length += 1
+    return bit_length
+
+
+def ref_read_uint(data: bytes, cursor: int, bits: int) -> int:
+    """Read ``bits`` bits starting at ``cursor``, one bit at a time."""
+    value = 0
+    for offset in range(bits):
+        position = cursor + offset
+        bit = (data[position // 8] >> (7 - position % 8)) & 1
+        value = (value << 1) | bit
+    return value
+
+
+def ref_patch_bits(buffer: bytearray, start_bit: int, width: int, value: int) -> None:
+    """Overwrite ``width`` bits at ``start_bit``, one bit at a time."""
+    for offset in range(width):
+        position = start_bit + offset
+        bit = (value >> (width - 1 - offset)) & 1
+        index, shift = position // 8, 7 - position % 8
+        buffer[index] = (buffer[index] & ~(1 << shift)) | (bit << shift)
+
+
+# --- BitWriter ---
+
+
+@pytest.mark.parametrize("prefix_bits", [0, 1, 3, 5, 7, 9, 13])
+@pytest.mark.parametrize("width", [1, 2, 3, 7, 8, 9, 12, 16, 24, 31, 33, 64])
+def test_writer_matches_per_bit_reference(prefix_bits, width):
+    rng = random.Random(prefix_bits * 100 + width)
+    prefix = rng.getrandbits(prefix_bits) if prefix_bits else 0
+    value = rng.getrandbits(width)
+
+    writer = BitWriter()
+    if prefix_bits:
+        writer.write_uint(prefix, prefix_bits)
+    writer.write_uint(value, width)
+
+    reference = bytearray()
+    length = ref_write_uint(reference, 0, prefix, prefix_bits) if prefix_bits else 0
+    length = ref_write_uint(reference, length, value, width)
+
+    assert writer.bit_length == length
+    assert writer.getvalue() == bytes(reference)
+
+
+def test_writer_random_sequences_match_reference():
+    rng = random.Random(0xB175)
+    for _ in range(200):
+        writer = BitWriter()
+        reference = bytearray()
+        length = 0
+        for _ in range(rng.randrange(1, 12)):
+            width = rng.randrange(1, 40)
+            value = rng.getrandbits(width)
+            writer.write_uint(value, width)
+            length = ref_write_uint(reference, length, value, width)
+        assert writer.getvalue() == bytes(reference)
+        assert writer.bit_length == length
+
+
+def test_writer_little_endian_matches_to_bytes():
+    writer = BitWriter()
+    writer.write_uint(0x1234, 16, ByteOrder.LITTLE)
+    writer.write_uint(0xDEADBEEF, 32, ByteOrder.LITTLE)
+    assert writer.getvalue() == b"\x34\x12" + (0xDEADBEEF).to_bytes(4, "little")
+
+
+def test_writer_little_endian_rejects_odd_widths():
+    writer = BitWriter()
+    with pytest.raises(ValueError, match="whole bytes"):
+        writer.write_uint(1, 12, ByteOrder.LITTLE)
+
+
+def test_writer_bounds_checks_survive_bulk_path():
+    writer = BitWriter()
+    with pytest.raises(ValueError, match="does not fit"):
+        writer.write_uint(16, 4)
+    with pytest.raises(ValueError, match="negative"):
+        writer.write_uint(-1, 4)
+    with pytest.raises(ValueError, match="positive"):
+        writer.write_uint(0, 0)
+
+
+# --- BitReader ---
+
+
+@pytest.mark.parametrize("offset_bits", [0, 1, 3, 5, 7, 9, 13])
+@pytest.mark.parametrize("width", [1, 2, 3, 7, 8, 9, 12, 16, 24, 31, 33, 64])
+def test_reader_matches_per_bit_reference(offset_bits, width):
+    rng = random.Random(offset_bits * 100 + width + 1)
+    data = bytes(rng.randrange(256) for _ in range((offset_bits + width + 7) // 8 + 2))
+    reader = BitReader(data)
+    if offset_bits:
+        reader.read_uint(offset_bits)
+    assert reader.read_uint(width) == ref_read_uint(data, offset_bits, width)
+    assert reader.bits_consumed == offset_bits + width
+
+
+def test_reader_roundtrips_writer_at_odd_offsets():
+    rng = random.Random(0xB17E)
+    for _ in range(100):
+        fields = [
+            (rng.getrandbits(width), width)
+            for width in (rng.randrange(1, 40) for _ in range(rng.randrange(1, 10)))
+        ]
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_uint(value, width)
+        writer.pad_to_byte()
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read_uint(width) == value
+
+
+def test_reader_little_endian_span():
+    data = b"\x34\x12" + (0xDEADBEEF).to_bytes(4, "little")
+    reader = BitReader(data)
+    assert reader.read_uint(16, ByteOrder.LITTLE) == 0x1234
+    assert reader.read_uint(32, ByteOrder.LITTLE) == 0xDEADBEEF
+    assert reader.at_end
+
+
+def test_reader_little_endian_rejects_odd_widths():
+    reader = BitReader(b"\xff\xff")
+    with pytest.raises(ValueError, match="whole bytes"):
+        reader.read_uint(12, ByteOrder.LITTLE)
+
+
+def test_reader_truncation_at_misaligned_cursor():
+    reader = BitReader(b"\xab")
+    reader.read_uint(5)
+    with pytest.raises(TruncatedDataError):
+        reader.read_uint(4)
+    assert reader.read_uint(3) == 0xAB & 0x7
+
+
+# --- codec._extract_bits / _patch_bits ---
+
+
+@pytest.mark.parametrize("start_bit", [0, 1, 3, 4, 7, 8, 11, 15])
+@pytest.mark.parametrize("width", [8, 16, 24, 32, 40])
+def test_extract_bits_matches_reference(start_bit, width):
+    rng = random.Random(start_bit * 1000 + width)
+    buffer = bytes(rng.randrange(256) for _ in range((start_bit + width + 7) // 8 + 1))
+    extracted = _extract_bits(buffer, start_bit, start_bit + width)
+    assert extracted == ref_read_uint(buffer, start_bit, width).to_bytes(
+        width // 8, "big"
+    )
+
+
+def test_extract_bits_rejects_non_byte_widths_and_overruns():
+    with pytest.raises(ValueError, match="whole number of bytes"):
+        _extract_bits(b"\xff\xff", 0, 12)
+    with pytest.raises(ValueError, match="past the end"):
+        _extract_bits(b"\xff\xff", 8, 24)
+
+
+@pytest.mark.parametrize("start_bit", [0, 1, 3, 5, 7, 9, 12, 15])
+@pytest.mark.parametrize("width", [1, 3, 5, 8, 11, 16, 19, 32])
+def test_patch_bits_matches_reference(start_bit, width):
+    rng = random.Random(start_bit * 1000 + width + 7)
+    size = (start_bit + width + 7) // 8 + 1
+    original = bytes(rng.randrange(256) for _ in range(size))
+    value = rng.getrandbits(width)
+
+    bulk = bytearray(original)
+    _patch_bits(bulk, start_bit, width, value)
+    reference = bytearray(original)
+    ref_patch_bits(reference, start_bit, width, value)
+
+    assert bytes(bulk) == bytes(reference)
+    # neighbouring bits are untouched
+    assert ref_read_uint(bytes(bulk), start_bit, width) == value
+
+
+def test_patch_bits_zero_width_is_noop():
+    buffer = bytearray(b"\xaa\xbb")
+    _patch_bits(buffer, 4, 0, 0xF)
+    assert bytes(buffer) == b"\xaa\xbb"
+
+
+def test_patch_then_extract_roundtrip_misaligned():
+    rng = random.Random(0xC0DEC)
+    for _ in range(100):
+        size = rng.randrange(3, 12)
+        buffer = bytearray(rng.randrange(256) for _ in range(size))
+        width = 8 * rng.randrange(1, size)
+        start = rng.randrange(0, size * 8 - width + 1)
+        value = rng.getrandbits(width)
+        _patch_bits(buffer, start, width, value)
+        assert _extract_bits(bytes(buffer), start, start + width) == value.to_bytes(
+            width // 8, "big"
+        )

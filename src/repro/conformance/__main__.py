@@ -70,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="predicate evaluations the shrinker may spend per failure",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard conformance units across this many worker processes; "
+            "findings and coverage are identical to a serial run with the "
+            "same seed (default: 1 = in-process)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     parser.add_argument(
@@ -105,15 +115,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         for drift in drifts:
             print(f"  DRIFT: {drift}")
         return 1 if drifts else 0
-    report = run_all(
-        seed=args.seed,
-        budget=args.budget,
-        engines=args.engines,
-        specs=args.specs,
-        machines=args.machines,
-        corpus_path=args.corpus,
-        shrink_budget=args.shrink_budget,
-    )
+    if args.workers > 1:
+        from repro.parallel.confrun import run_all_parallel
+
+        report = run_all_parallel(
+            workers=args.workers,
+            seed=args.seed,
+            budget=args.budget,
+            engines=args.engines,
+            specs=args.specs,
+            machines=args.machines,
+            corpus_path=args.corpus,
+            shrink_budget=args.shrink_budget,
+        )
+    else:
+        report = run_all(
+            seed=args.seed,
+            budget=args.budget,
+            engines=args.engines,
+            specs=args.specs,
+            machines=args.machines,
+            corpus_path=args.corpus,
+            shrink_budget=args.shrink_budget,
+        )
     print(report.to_json() if args.json else report.render())
     return 0 if report.ok else 1
 

@@ -114,6 +114,28 @@ class CoverageMap:
                 return candidate
         return candidates[-1]
 
+    # -- cross-process merge ----------------------------------------------
+
+    def export(self) -> Dict[str, Any]:
+        """This map as plain picklable data (for the worker result queue).
+
+        Coverage counters are all labeled by subject (spec or machine
+        name), so per-subject maps exported from disjoint workers merge
+        into exactly the map a serial run over the same subjects builds.
+        """
+        return {
+            "seen": sorted(
+                (name, list(labels)) for name, labels in self._seen
+            ),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def merge(self, exported: Dict[str, Any]) -> None:
+        """Fold a worker's :meth:`export` into this map."""
+        for name, labels in exported.get("seen", ()):
+            self._seen.add((name, tuple(tuple(item) for item in labels)))
+        self.registry.merge_snapshot(exported.get("metrics", {}))
+
     # -- reporting ---------------------------------------------------------
 
     def summary(self) -> Dict[str, Dict[str, int]]:

@@ -98,7 +98,7 @@ def _ck_xor8(data):
     "internet": '''
 def _ck_internet(data):
     if len(data) % 2:
-        data = data + b"\\x00"
+        data = bytes(data) + b"\\x00"
     total = 0
     for i in range(0, len(data), 2):
         total += (data[i] << 8) | data[i + 1]
@@ -429,6 +429,9 @@ def _parse_field(spec: Any, field: Any, layout: _Layout) -> List[str]:
 
 
 def _generate_build(spec: Any) -> List[str]:
+    joined = _generate_build_join(spec)
+    if joined is not None:
+        return joined
     name = spec.name.lower()
     lines = [
         f"def build_{name}(values, _spans=None):",
@@ -452,6 +455,146 @@ def _generate_build(spec: Any) -> List[str]:
             lines.extend(_build_field(spec, field))
             index += 1
     lines.append("    return bytes(out)")
+    return lines
+
+
+def _generate_build_join(spec: Any) -> Optional[List[str]]:
+    """Join-mode build for statically byte-aligned specs; None when not.
+
+    The bytearray path above copies every payload twice: once into the
+    accumulating buffer (``out.extend``) and once more at ``bytes(out)``.
+    When every element of the spec is byte-aligned — fused scalar runs of
+    whole-byte total width, whole-byte little-endian ints, and ``Bytes``
+    fields — the build can instead collect immutable chunks and flush
+    them with one ``b"".join``, so a payload's bytes are copied exactly
+    once.  On memcpy-bound specs (UdpDatagram's 33 KB payloads) this is
+    the difference between ~1.3x and ~2x over the interpreter.
+
+    Field range checks and error messages are byte-for-byte those of the
+    bytearray path; ``UIntList`` and sub-byte-aligned layouts fall back.
+    """
+    plan: List[Tuple[str, Any]] = []  # ("run", [fields]) | ("field", field)
+    fields = list(spec.fields)
+    index = 0
+    while index < len(fields):
+        field = fields[index]
+        if _is_fusable(field):
+            run = [field]
+            while index + len(run) < len(fields) and _is_fusable(
+                fields[index + len(run)]
+            ):
+                run.append(fields[index + len(run)])
+            if sum(f.fixed_bit_width() for f in run) % 8 != 0:
+                return None
+            plan.append(("run", run))
+            index += len(run)
+            continue
+        if isinstance(field, UInt) and field.byteorder is ByteOrder.LITTLE:
+            plan.append(("field", field))
+        elif isinstance(field, Bytes):
+            plan.append(("field", field))
+        else:
+            return None  # UIntList (or future shapes): bytearray path
+        index += 1
+    name = spec.name.lower()
+    lines = [
+        f"def build_{name}(values, _spans=None):",
+        f'    """Encode {spec.name} field values verbatim to bytes."""',
+        "    _parts = []",
+        "    bitlen = 0",
+    ]
+    for kind, payload in plan:
+        if kind == "run":
+            run = payload
+            total = sum(f.fixed_bit_width() for f in run)
+            lines.append("    _w = 0")
+            for field in run:
+                width = field.fixed_bit_width()
+                lines.append(f"    _v = values[{field.name!r}]")
+                if isinstance(field, Flag):
+                    lines.append(
+                        "    if not isinstance(_v, (bool, int)) "
+                        "or _v not in (False, True, 0, 1):"
+                    )
+                    lines.append(
+                        f"        raise ValueError('field {field.name}: value %r "
+                        "does not fit 1 bits' % (_v,))"
+                    )
+                    lines.append("    _w = (_w << 1) | (1 if _v else 0)")
+                    continue
+                if isinstance(field, UInt):
+                    lines.append(
+                        "    if _v.__class__ is not int and "
+                        "(not isinstance(_v, int) or _v.__class__ is bool):"
+                    )
+                    lines.append(
+                        f"        raise ValueError('field {field.name}: expected "
+                        "int, got %r' % (_v,))"
+                    )
+                elif isinstance(field, Reserved):
+                    lines.append("    if _v is None:")
+                    lines.append(f"        _v = {field.value}")
+                lines.append(f"    if _v < 0 or _v >> {width}:")
+                lines.append(
+                    f"        raise ValueError('field {field.name}: value %r "
+                    f"does not fit {width} bits' % (_v,))"
+                )
+                lines.append(f"    _w = (_w << {width}) | _v")
+            lines.append(f"    _parts.append(_w.to_bytes({total // 8}, 'big'))")
+            lines.append("    if _spans is not None:")
+            offset = 0
+            for field in run:
+                width = field.fixed_bit_width()
+                lines.append(
+                    f"        _spans[{field.name!r}] = "
+                    f"(bitlen + {offset}, bitlen + {offset + width})"
+                )
+                offset += width
+            lines.append(f"    bitlen += {total}")
+            continue
+        field = payload
+        if isinstance(field, UInt):  # little-endian whole-byte scalar
+            width = field.fixed_bit_width()
+            lines.append(f"    _v = values[{field.name!r}]")
+            lines.append(
+                "    if _v.__class__ is not int and "
+                "(not isinstance(_v, int) or _v.__class__ is bool):"
+            )
+            lines.append(
+                f"        raise ValueError('field {field.name}: expected int, "
+                "got %r' % (_v,))"
+            )
+            lines.append(f"    if _v < 0 or _v >> {width}:")
+            lines.append(
+                f"        raise ValueError('field {field.name}: value %r does "
+                f"not fit {width} bits' % (_v,))"
+            )
+            lines.append(
+                f"    _parts.append(_v.to_bytes({width // 8}, 'little'))"
+            )
+            lines.append("    if _spans is not None:")
+            lines.append(
+                f"        _spans[{field.name!r}] = (bitlen, bitlen + {width})"
+            )
+            lines.append(f"    bitlen += {width}")
+            continue
+        # Bytes: appended as-is; b"".join copies it exactly once.
+        lines.append(f"    _data = values[{field.name!r}]")
+        if not field.is_greedy:
+            length_code = _expr_code(field.length)
+            lines.append(f"    if len(_data) != {length_code}:")
+            lines.append(
+                f"        raise ValueError('field {field.name}: length %d != "
+                f"declared %d' % (len(_data), {length_code}))"
+            )
+        lines.append("    _parts.append(_data)")
+        lines.append("    if _spans is not None:")
+        lines.append(
+            f"        _spans[{field.name!r}] = "
+            "(bitlen, bitlen + len(_data) * 8)"
+        )
+        lines.append("    bitlen += len(_data) * 8")
+    lines.append('    return b"".join(_parts)')
     return lines
 
 
@@ -591,7 +734,10 @@ def _generate_finalize(spec: Any) -> List[str]:
     for field in checksum_fields:
         function = _ALGORITHM_FUNCTIONS[field.algorithm.name]
         lines.append(f"    _s, _e = spans[{field.name!r}]")
-        lines.append("    _b = bytes(buf)")
+        # A memoryview cover: zero-copy, and it tracks the _patch_uint
+        # updates of earlier checksums (same-size patches never resize
+        # the bytearray, so the exported view stays valid).
+        lines.append("    _b = memoryview(buf)")
         if field.covers_whole_packet:
             lines.append("    cover = _b")
             lines.append("    # checksum field is still zero in buf, per over='*'")
@@ -621,11 +767,11 @@ def _generate_validate(spec: Any) -> List[str]:
             lines.append(f"    _s, _e = spans[{field.name!r}]")
             if field.covers_whole_packet:
                 lines.append("    _patch_uint(buf, _s, _e - _s, 0)")
-                lines.append("    cover = bytes(buf)")
+                lines.append("    cover = memoryview(buf)")
             else:
                 lines.append("    cover = b''.join(")
                 lines.append(
-                    "        bytes(buf)[spans[_n][0] // 8:spans[_n][1] // 8]"
+                    "        memoryview(buf)[spans[_n][0] // 8:spans[_n][1] // 8]"
                 )
                 lines.append(f"        for _n in {list(field.over)!r})")
             lines.append(f"    if {function}(cover) != values[{field.name!r}]:")

@@ -1,0 +1,235 @@
+"""Staged machine dispatch: per-transition closures built at seal time.
+
+The interpreted transition path unifies the source pattern, evaluates the
+guard predicate tree, and re-evaluates the target expressions — symbolic
+recursion on every ``exec_trans`` call.  This module stages that work
+once per :class:`~repro.core.statemachine.MachineSpec`, mirroring what
+``repro.core.compile`` does for codecs:
+
+* a **matcher** closure per transition when every source-pattern argument
+  is a plain ``Var`` or ``Const`` — returns the bindings dict, or ``None``
+  on a non-match (``None``, not ``{}``: an empty dict is the legitimate
+  match of a zero-parameter pattern);
+* a **guard** closure for symbolic predicates, via the same
+  ``_predicate_code`` translation the codec generator uses;
+* a **target** closure evaluating the target expressions and the
+  parameter normalization (modular wrap for ``bits``-bounded params)
+  without touching the symbolic tree.
+
+Anything the stager cannot express is left ``None`` and the machine
+runtime uses the interpreted path for that piece.  The interpreted path
+also stays on as the **error oracle**: a staged miss or exception is
+re-run interpreted, which either produces the canonical error (the tiers
+agree) or succeeds — a divergence, which demotes that closure for the
+rest of the process and increments ``machine.staged_divergences``.
+
+``REPRO_MACHINE_STAGED=off`` disables the closures process-wide; the
+seal-time dispatch *index* on :class:`MachineSpec` (name → transition,
+state → transitions) stays on regardless, because it is a pure data
+structure with no semantic surface of its own.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.compile import CodegenError, _expr_code, _predicate_code
+from repro.core.statemachine import (
+    StateInstance,
+    StatePattern,
+    TransitionSpec,
+)
+from repro.core.symbolic import Const, Predicate, Var
+
+_TABLE_ATTR = "_repro_staged_table"
+
+_stats = {
+    "tables": 0,
+    "matchers": 0,
+    "guards": 0,
+    "targets": 0,
+    "demotions": 0,
+}
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_MACHINE_STAGED", "on").strip().lower()
+    return raw not in ("off", "0", "no", "false")
+
+
+_enabled = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether the staged-closure tier is on for this process."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Toggle the staged tier (tests); existing machines re-check per call."""
+    global _enabled
+    _enabled = bool(flag)
+    return _enabled
+
+
+def _compile_matcher(
+    pattern: StatePattern,
+) -> Optional[Callable[[StateInstance], Optional[Dict[str, int]]]]:
+    """A closure unifying ``pattern`` against a concrete state.
+
+    Stageable patterns bind each argument position to a fresh variable,
+    check it against a constant, or check it against an earlier binding
+    of the same variable — exactly the cases ``unify`` handles without
+    expression inversion.  Everything else returns ``None`` (not staged).
+    """
+    lines = [
+        "def _match(instance):",
+        "    if instance.state is not _state:",
+        "        return None",
+    ]
+    if pattern.args:
+        lines.append("    _v = instance.values")
+    first_binding: Dict[str, int] = {}
+    checks: List[str] = []
+    for index, arg in enumerate(pattern.args):
+        if isinstance(arg, Var):
+            if arg.name in first_binding:
+                checks.append(
+                    f"    if _v[{index}] != _v[{first_binding[arg.name]}]:"
+                )
+                checks.append("        return None")
+            else:
+                first_binding[arg.name] = index
+        elif isinstance(arg, Const):
+            checks.append(f"    if _v[{index}] != {arg.value!r}:")
+            checks.append("        return None")
+        else:
+            return None
+    lines.extend(checks)
+    items = ", ".join(
+        f"{name!r}: _v[{index}]" for name, index in first_binding.items()
+    )
+    lines.append(f"    return {{{items}}}")
+    namespace: Dict[str, Any] = {"_state": pattern.state}
+    exec(compile("\n".join(lines), "<staged-matcher>", "exec"), namespace)
+    _stats["matchers"] += 1
+    return namespace["_match"]
+
+
+def _compile_guard(
+    transition: TransitionSpec,
+) -> Optional[Callable[[Dict[str, int], Any], bool]]:
+    """A closure for a symbolic guard; callable/absent guards stay interpreted."""
+    if not isinstance(transition.guard, Predicate):
+        return None
+    try:
+        code = _predicate_code(transition.guard)
+    except CodegenError:
+        return None
+    namespace: Dict[str, Any] = {}
+    source = f"def _guard(values, payload):\n    return {code}"
+    exec(compile(source, "<staged-guard>", "exec"), namespace)
+    _stats["guards"] += 1
+    return namespace["_guard"]
+
+
+def _compile_target(
+    pattern: StatePattern,
+) -> Optional[Callable[[Dict[str, int]], StateInstance]]:
+    """A closure computing the concrete target state from bindings.
+
+    Inlines ``Param.normalize``: bounded params wrap modulo ``2**bits``;
+    unbounded params reject negatives (the oracle rerun supplies the
+    canonical error message when that trips).
+    """
+    lines = ["def _target(values):"]
+    names: List[str] = []
+    for index, (param, arg) in enumerate(zip(pattern.state.params, pattern.args)):
+        try:
+            code = _expr_code(arg)
+        except CodegenError:
+            return None
+        name = f"_v{index}"
+        names.append(name)
+        if param.bits is not None:
+            lines.append(f"    {name} = ({code}) % {1 << param.bits}")
+        else:
+            lines.append(f"    {name} = {code}")
+            lines.append(f"    if {name} < 0:")
+            lines.append(
+                f"        raise ValueError('negative value for param "
+                f"{param.name}')"
+            )
+    tuple_code = f"({', '.join(names)},)" if names else "()"
+    lines.append(f"    return _instance(_state, {tuple_code})")
+    namespace: Dict[str, Any] = {
+        "_instance": StateInstance,
+        "_state": pattern.state,
+    }
+    exec(compile("\n".join(lines), "<staged-target>", "exec"), namespace)
+    _stats["targets"] += 1
+    return namespace["_target"]
+
+
+class StagedTransition:
+    """One transition's staged closures (each ``None`` when not staged)."""
+
+    __slots__ = ("transition", "match", "guard", "target")
+
+    def __init__(self, transition: TransitionSpec) -> None:
+        self.transition = transition
+        self.match = _compile_matcher(transition.source)
+        self.guard = _compile_guard(transition)
+        self.target = _compile_target(transition.target)
+
+    def __repr__(self) -> str:
+        staged = [
+            name
+            for name in ("match", "guard", "target")
+            if getattr(self, name) is not None
+        ]
+        return f"StagedTransition({self.transition.name!r}, staged={staged})"
+
+
+class StagedTable:
+    """Per-spec dispatch structure: staged transitions by name and source."""
+
+    __slots__ = ("by_name", "by_source")
+
+    def __init__(self, spec: Any) -> None:
+        self.by_name: Dict[str, StagedTransition] = {}
+        by_source: Dict[str, List[StagedTransition]] = {}
+        for transition in spec.transitions:
+            staged = StagedTransition(transition)
+            self.by_name[transition.name] = staged
+            by_source.setdefault(transition.source.state.name, []).append(staged)
+        self.by_source: Dict[str, Tuple[StagedTransition, ...]] = {
+            name: tuple(entries) for name, entries in by_source.items()
+        }
+
+
+def staged_table(spec: Any) -> Optional[StagedTable]:
+    """The (cached) staged table for a sealed spec; None when disabled."""
+    if not _enabled:
+        return None
+    table = getattr(spec, _TABLE_ATTR, None)
+    if table is None:
+        table = StagedTable(spec)
+        try:
+            setattr(spec, _TABLE_ATTR, table)
+        except AttributeError:
+            return table  # exotic specs: rebuild per machine, still correct
+        _stats["tables"] += 1
+    return table
+
+
+def demote(staged: StagedTransition, phase: str) -> None:
+    """Retire one diverging closure; the other phases stay staged."""
+    setattr(staged, phase, None)
+    _stats["demotions"] += 1
+
+
+def stats() -> Dict[str, int]:
+    """Staging counters: tables built, closures staged, demotions."""
+    return dict(_stats)

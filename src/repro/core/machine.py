@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import dispatch as _dispatch
 from repro.core.codec import encode_verbatim
 from repro.core.statemachine import (
     MachineSpec,
@@ -149,6 +150,9 @@ class Machine:
         self._trace: List[TraceStep] = []
         self._observers: List[Observer] = []
         self._obs = obs if obs is not None else get_default()
+        # Staged dispatch closures, built once per spec and shared by
+        # every machine over it; None when REPRO_MACHINE_STAGED is off.
+        self._staged = _dispatch.staged_table(spec)
 
     # -- inspection ---------------------------------------------------------
 
@@ -178,10 +182,35 @@ class Machine:
         answers "which transitions are shape-valid now", which drivers and
         the completeness tests use.
         """
+        current = self._current
+        table = self._staged
         matching = []
-        for transition in self.spec.transitions_from(self._current.state.name):
+        if table is not None:
+            for staged in table.by_source.get(current.state.name, ()):
+                matcher = staged.match
+                if matcher is not None:
+                    if matcher(current) is not None:
+                        matching.append(staged.transition)
+                        continue
+                    # Staged miss: the interpreted matcher is the oracle
+                    # for *excluding* a transition too — a successful
+                    # interpreted match here means the closure diverged.
+                    try:
+                        staged.transition.source.match(current)
+                    except UnificationError:
+                        continue
+                    self._staged_divergence(staged, "match")
+                    matching.append(staged.transition)
+                else:
+                    try:
+                        staged.transition.source.match(current)
+                    except UnificationError:
+                        continue
+                    matching.append(staged.transition)
+            return matching
+        for transition in self.spec.transitions_from(current.state.name):
             try:
-                transition.source.match(self._current)
+                transition.source.match(current)
             except UnificationError:
                 continue
             matching.append(transition)
@@ -321,11 +350,47 @@ class Machine:
 
     # -- the four phases (see module docstring) ---------------------------
 
-    def _dispatch(
-        self, transition: TransitionSpec, inputs: Dict[str, int]
-    ) -> Dict[str, int]:
+    def _staged_for(self, transition: TransitionSpec) -> Any:
+        table = self._staged
+        if table is None:
+            return None
+        return table.by_name.get(transition.name)
+
+    def _staged_divergence(self, staged: Any, phase: str) -> None:
+        """Retire a diverging closure and count it in repro.obs."""
+        _dispatch.demote(staged, phase)
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "machine.staged_divergences",
+                machine=self.spec.name,
+                transition=staged.transition.name,
+                phase=phase,
+            ).inc()
+
+    def _match_source(self, transition: TransitionSpec) -> Dict[str, int]:
+        """Source-pattern bindings, staged matcher first, interpreter as oracle."""
+        staged = self._staged_for(transition)
+        if staged is not None and staged.match is not None:
+            bindings = staged.match(self._current)
+            if bindings is not None:
+                return bindings
+            # Miss: rerun interpreted for the canonical error — or, if it
+            # succeeds where the closure refused, demote the closure.
+            try:
+                bindings = transition.source.match(self._current)
+            except UnificationError as exc:
+                raise InvalidTransitionError(
+                    self.spec.name,
+                    transition.name,
+                    f"current state {self._current!r} does not match source "
+                    f"pattern {transition.source!r} ({exc})",
+                    code="dispatch",
+                ) from None
+            self._staged_divergence(staged, "match")
+            return bindings
         try:
-            bindings = transition.source.match(self._current)
+            return transition.source.match(self._current)
         except UnificationError as exc:
             raise InvalidTransitionError(
                 self.spec.name,
@@ -334,6 +399,11 @@ class Machine:
                 f"pattern {transition.source!r} ({exc})",
                 code="dispatch",
             ) from None
+
+    def _dispatch(
+        self, transition: TransitionSpec, inputs: Dict[str, int]
+    ) -> Dict[str, int]:
+        bindings = self._match_source(transition)
         if set(inputs) != set(transition.inputs):
             raise InvalidTransitionError(
                 self.spec.name,
@@ -356,7 +426,18 @@ class Machine:
     def _check_guard(
         self, transition: TransitionSpec, bindings: Dict[str, int], payload: Any
     ) -> None:
-        if not transition.guard_holds(bindings, payload):
+        staged = self._staged_for(transition)
+        if staged is not None and staged.guard is not None:
+            try:
+                holds = bool(staged.guard(bindings, payload))
+            except Exception:
+                # Oracle rerun: a raise here is canonical (tiers agree);
+                # a clean verdict means the staged closure diverged.
+                holds = transition.guard_holds(bindings, payload)
+                self._staged_divergence(staged, "guard")
+        else:
+            holds = transition.guard_holds(bindings, payload)
+        if not holds:
             raise InvalidTransitionError(
                 self.spec.name, transition.name, "guard predicate failed", code="guard"
             )
@@ -364,7 +445,16 @@ class Machine:
     def _step(
         self, transition: TransitionSpec, bindings: Dict[str, int], payload: Any
     ) -> StateInstance:
-        target = transition.target.instantiate(bindings)
+        staged = self._staged_for(transition)
+        if staged is not None and staged.target is not None:
+            try:
+                target = staged.target(bindings)
+            except Exception:
+                # Oracle rerun: canonical error, or a demoting divergence.
+                target = transition.target.instantiate(bindings)
+                self._staged_divergence(staged, "target")
+        else:
+            target = transition.target.instantiate(bindings)
         step = TraceStep(
             transition=transition.name,
             source=self._current,

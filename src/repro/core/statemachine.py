@@ -341,6 +341,11 @@ class MachineSpec:
         self.transitions: List[TransitionSpec] = []
         self.expected_events: Dict[str, frozenset] = {}
         self._sealed = False
+        # Dispatch indexes, built by seal(): name -> transition and
+        # source-state name -> transitions, so the runtime's per-call
+        # lookups are dict hits instead of linear scans.
+        self._transition_index: Optional[Dict[str, TransitionSpec]] = None
+        self._source_index: Optional[Dict[str, Tuple[TransitionSpec, ...]]] = None
 
     # -- declaration -------------------------------------------------------
 
@@ -428,6 +433,15 @@ class MachineSpec:
                 f"machine {self.name!r} failed definition-time checking:\n  "
                 + "\n  ".join(report.errors)
             )
+        self._transition_index = {t.name: t for t in self.transitions}
+        source_index: Dict[str, List[TransitionSpec]] = {}
+        for transition in self.transitions:
+            source_index.setdefault(
+                transition.source.state.name, []
+            ).append(transition)
+        self._source_index = {
+            name: tuple(entries) for name, entries in source_index.items()
+        }
         self._sealed = True
         return self
 
@@ -451,11 +465,24 @@ class MachineSpec:
         return [s for s in self.states.values() if s.final]
 
     def transitions_from(self, state_name: str) -> List[TransitionSpec]:
-        """Transitions whose source state is ``state_name``."""
+        """Transitions whose source state is ``state_name``.
+
+        Indexed (declaration order preserved) once the spec is sealed;
+        the scan below serves the checker, which runs pre-seal.
+        """
+        if self._source_index is not None:
+            return list(self._source_index.get(state_name, ()))
         return [t for t in self.transitions if t.source.state.name == state_name]
 
     def transition_named(self, name: str) -> TransitionSpec:
-        """Look up a transition by name."""
+        """Look up a transition by name (indexed once sealed)."""
+        if self._transition_index is not None:
+            try:
+                return self._transition_index[name]
+            except KeyError:
+                raise KeyError(
+                    f"machine {self.name!r} has no transition {name!r}"
+                ) from None
         for transition in self.transitions:
             if transition.name == name:
                 return transition

@@ -294,6 +294,52 @@ class MetricsRegistry:
             )
         return result
 
+    def merge_snapshot(self, snapshot: Dict[str, List[Dict[str, Any]]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process aggregation primitive: worker processes ship
+        snapshots (plain JSON-ready dicts) over a queue and the parent
+        merges them, so a sharded run's metrics read exactly like the
+        serial run's.  Counters and gauges add their values; histograms
+        add bucket counts, counts and sums and widen min/max.  Merging a
+        histogram into an existing one with different bounds raises —
+        that is a schema clash, not data.
+        """
+        for name, entries in snapshot.items():
+            for entry in entries:
+                labels = entry.get("labels", {})
+                kind = entry.get("kind")
+                if kind == "counter":
+                    value = entry.get("value", 0)
+                    if value:
+                        self.counter(name, **labels).inc(value)
+                elif kind == "gauge":
+                    value = entry.get("value", 0.0)
+                    if value:
+                        self.gauge(name, **labels).inc(value)
+                elif kind == "histogram":
+                    bounds = entry.get("bounds")
+                    histogram = self.histogram(name, bounds=bounds, **labels)
+                    if list(histogram.bounds) != list(bounds or []):
+                        raise ValueError(
+                            f"histogram {name!r}: cannot merge bucket ladder "
+                            f"{bounds!r} into {list(histogram.bounds)!r}"
+                        )
+                    counts = entry.get("bucket_counts") or []
+                    for index, count in enumerate(counts):
+                        histogram.counts[index] += count
+                    histogram.count += entry.get("count", 0)
+                    histogram.total += entry.get("sum", 0.0)
+                    low, high = entry.get("min"), entry.get("max")
+                    if low is not None and low < histogram.min:
+                        histogram.min = low
+                    if high is not None and high > histogram.max:
+                        histogram.max = high
+                else:
+                    raise ValueError(
+                        f"cannot merge metric {name!r} of kind {kind!r}"
+                    )
+
     def reset(self) -> None:
         """Zero every metric, keeping instances (cached handles stay valid)."""
         for metric in self._metrics.values():

@@ -1,0 +1,116 @@
+"""Process-wide policy for the sharded execution plane.
+
+A :class:`Parallel` value decides *when* batch work leaves the process:
+
+* ``workers`` — how many worker processes the pool may fork.  ``0``
+  disables the plane entirely (every batch runs in-process, preserving
+  the single-process tiers bit-for-bit); values below 2 are treated as
+  0 because a one-worker pool is pure overhead.
+* ``min_batch`` — batches smaller than this never leave the process.
+  Sharding pays a fixed toll (pickling, queue hops, reassembly); below
+  the threshold the PR-3 in-process batch tier always wins, so the
+  threshold is what keeps small-batch numbers from regressing.
+* ``chunk_timeout`` — seconds the parent waits on a shard before
+  declaring the pool wedged and falling back in-process.
+
+The environment variable ``REPRO_PARALLEL`` picks the starting worker
+count: ``off`` (the single-process behaviour), ``auto`` (one worker per
+CPU, off on single-core boxes), or an integer.  ``REPRO_PARALLEL_MIN_BATCH``
+overrides the batch threshold.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """When and how batch work is sharded across worker processes."""
+
+    workers: int = 0  # 0 = off; otherwise the pool size (>= 2)
+    min_batch: int = 1024  # smallest batch worth shipping out of process
+    chunk_timeout: float = 120.0  # seconds before a wedged shard aborts
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"worker count cannot be negative, got {self.workers}")
+        if self.min_batch < 1:
+            raise ValueError(f"min_batch must be at least 1, got {self.min_batch}")
+        if self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive, got {self.chunk_timeout}"
+            )
+
+
+def resolve_workers(raw: str) -> int:
+    """Map a ``REPRO_PARALLEL``-style token to a concrete worker count.
+
+    ``off``/``0``/empty → 0; ``auto`` → ``os.cpu_count()`` (0 when the
+    box has fewer than two cores — sharding cannot win there); an
+    integer → itself (values below 2 collapse to 0).
+    """
+    token = raw.strip().lower()
+    if token in ("", "off", "no", "none", "0", "1"):
+        return 0
+    if token == "auto":
+        cpus = os.cpu_count() or 1
+        return cpus if cpus >= 2 else 0
+    try:
+        count = int(token)
+    except ValueError:
+        return 0
+    return count if count >= 2 else 0
+
+
+def _from_env() -> Parallel:
+    workers = resolve_workers(os.environ.get("REPRO_PARALLEL", "auto"))
+    policy = Parallel(workers=workers)
+    raw_batch = os.environ.get("REPRO_PARALLEL_MIN_BATCH", "").strip()
+    if raw_batch:
+        try:
+            policy = replace(policy, min_batch=max(1, int(raw_batch)))
+        except ValueError:
+            pass
+    return policy
+
+
+_policy: Parallel = _from_env()
+
+
+def get_policy() -> Parallel:
+    """The current process-wide policy."""
+    return _policy
+
+
+def set_policy(policy: Parallel) -> Parallel:
+    """Install ``policy`` process-wide."""
+    if not isinstance(policy, Parallel):
+        raise TypeError(f"expected a Parallel policy, got {policy!r}")
+    global _policy
+    _policy = policy
+    return policy
+
+
+def configure(**changes: object) -> Parallel:
+    """Install a copy of the current policy with ``changes`` applied.
+
+    ``workers`` accepts the env-var tokens too (``"auto"``/``"off"``).
+    """
+    raw = changes.get("workers")
+    if isinstance(raw, str):
+        changes = dict(changes, workers=resolve_workers(raw))
+    return set_policy(replace(_policy, **changes))
+
+
+@contextmanager
+def use(**changes: object) -> Iterator[Parallel]:
+    """Temporarily apply policy ``changes`` (restores the old policy)."""
+    previous = _policy
+    try:
+        yield configure(**changes)
+    finally:
+        set_policy(previous)

@@ -1,0 +1,129 @@
+"""The child-process half of the sharded execution plane.
+
+:func:`worker_main` is the entry point each :class:`ShardedPool` worker
+runs: a loop over a private task queue, answering on a shared result
+queue.  Two task shapes cross the boundary:
+
+``("codec", task_id, chunk, op, fingerprint, source, items)``
+    Run the generated codec named by ``fingerprint`` over ``items``
+    (value dicts for ``op="encode"``, wire buffers for ``op="decode"``).
+    ``source`` is the standalone generated module source on the first
+    use of a fingerprint in this worker and ``None`` afterwards — the
+    parent tracks which workers are warm.  Fingerprints-not-closures is
+    the design rule: generated source has no dependency on ``repro``
+    objects, so nothing unpicklable (and nothing stale) ever crosses
+    the process boundary.
+
+``("call", task_id, chunk, target, kwargs)``
+    Resolve ``target`` (``"package.module:function"``), call it with
+    ``kwargs``, ship back the picklable result.  The parallel
+    conformance runner uses this to execute whole fuzz units in
+    workers.
+
+Every reply is ``("ok", task_id, chunk, payload)`` or ``("err",
+task_id, chunk, message)``.  Workers never fall back to the
+interpreter: any exception is reported to the parent, which reruns the
+work in-process so callers always see the canonical error from the
+canonical tier.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from types import ModuleType
+from typing import Any, Callable, Dict, Tuple
+
+# fingerprint -> (build, parse); populated only from shipped source.
+_codecs: Dict[str, Tuple[Callable[..., bytes], Callable[[bytes], Dict[str, Any]]]] = {}
+
+
+class WorkerCrash(Exception):
+    """Raised (never caught) by the fault-injection task for tests."""
+
+
+def _load_codec(
+    fingerprint: str, source: str
+) -> Tuple[Callable[..., bytes], Callable[[bytes], Dict[str, Any]]]:
+    module = ModuleType(f"repro_worker_codec_{fingerprint[:12]}")
+    exec(compile(source, module.__name__, "exec"), module.__dict__)
+    pair = (module.build, module.parse)
+    _codecs[fingerprint] = pair
+    return pair
+
+
+def _run_codec(
+    op: str, fingerprint: str, source: Any, items: list
+) -> list:
+    pair = _codecs.get(fingerprint)
+    if pair is None:
+        if source is None:
+            raise KeyError(
+                f"codec {fingerprint[:12]} not warmed in this worker "
+                "and no source shipped"
+            )
+        pair = _load_codec(fingerprint, source)
+    build, parse = pair
+    if op == "encode":
+        return [build(values) for values in items]
+    if op == "decode":
+        return [parse(data) for data in items]
+    raise ValueError(f"unknown codec op {op!r}")
+
+
+def _resolve(target: str) -> Callable[..., Any]:
+    module_name, _, attr = target.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"call target must be 'module:function', got {target!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def crash(signum: int = 0) -> None:
+    """Kill this worker without cleanup — the test's stand-in for a segfault.
+
+    ``os._exit`` skips the result queue entirely, so the parent sees a
+    dead process holding an unanswered chunk, exactly like a native
+    crash would look.
+    """
+    os._exit(17)
+
+
+def worker_main(index: int, tasks: Any, results: Any) -> None:
+    """Serve tasks until a ``("stop",)`` message or queue breakdown."""
+    # A worker must never open its own pool: conformance units call the
+    # batch APIs, and recursive forking would multiply processes without
+    # bound.  Lazy import keeps worker start-up (and the fork itself)
+    # free of the full repro import graph until a task needs it.
+    from repro.parallel import policy as _policy
+
+    _policy.configure(workers=0)
+    while True:
+        try:
+            task = tasks.get()
+        except (EOFError, OSError):
+            break
+        kind = task[0]
+        if kind == "stop":
+            break
+        if kind == "crash":
+            crash()
+        task_id, chunk = task[1], task[2]
+        try:
+            if kind == "codec":
+                _, _, _, op, fingerprint, source, items = task
+                payload = _run_codec(op, fingerprint, source, items)
+            elif kind == "call":
+                _, _, _, target, kwargs = task
+                payload = _resolve(target)(**kwargs)
+            else:
+                raise ValueError(f"unknown task kind {kind!r}")
+        except BaseException as exc:  # report, never die on a task error
+            try:
+                results.put(("err", task_id, chunk, f"{type(exc).__name__}: {exc}"))
+            except (EOFError, OSError):
+                break
+            continue
+        try:
+            results.put(("ok", task_id, chunk, payload))
+        except (EOFError, OSError):
+            break

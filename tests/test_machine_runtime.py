@@ -302,3 +302,140 @@ class TestRejectionCounters:
             "machine.transitions_executed", machine="sender", transition="FAIL"
         ) == 1
         assert machine.current.name == "Ready"
+
+
+class TestStagedDispatch:
+    """The compiled dispatch tier changes speed, never behaviour."""
+
+    def _guarded_spec(self):
+        spec = MachineSpec("windowed")
+        base = Param("base")
+        active = spec.state("Active", params=[base], initial=True)
+        done = spec.state("Done", params=[base], final=True)
+        b, a = Var("base"), Var("ack")
+        spec.transition(
+            "ACK", active(b), active(a + 1), inputs=("ack",), guard=a >= b
+        )
+        spec.transition("STOP", active(b), done(b))
+        return spec.seal()
+
+    def _transcript(self, spec, steps):
+        """Run a script of (name, payload, inputs); log every observable."""
+        machine = Machine(spec)
+        log = []
+        for name, payload, inputs in steps:
+            try:
+                if payload is None:
+                    machine.exec_trans(name, **inputs)
+                else:
+                    machine.exec_trans(name, payload, **inputs)
+                log.append(("ok", machine.current.name, machine.current.values))
+            except InvalidTransitionError as exc:
+                log.append(("err", name, str(exc)))
+            log.append(
+                ("avail", tuple(t.name for t in machine.available_transitions()))
+            )
+        log.append(("trace", tuple(s.transition for s in machine.trace)))
+        return log
+
+    def _compare_modes(self, build, steps):
+        from repro.core import dispatch
+
+        prior = dispatch.enabled()
+        try:
+            dispatch.set_enabled(True)
+            staged = self._transcript(build(), steps)
+            dispatch.set_enabled(False)
+            interpreted = self._transcript(build(), steps)
+        finally:
+            dispatch.set_enabled(prior)
+        assert staged == interpreted
+
+    def test_sender_behaviour_identical_staged_or_not(self):
+        self._compare_modes(
+            sender_spec,
+            [
+                ("SEND", b"x", {}),
+                ("OK", verified_packet(), {}),
+                ("SEND", b"y", {}),
+                ("FAIL", None, {}),
+                ("OK", verified_packet(1), {}),  # invalid: in Ready, not Wait
+                ("FINISH", None, {}),
+                ("SEND", b"z", {}),  # invalid: machine finished
+            ],
+        )
+
+    def test_guarded_behaviour_identical_staged_or_not(self):
+        self._compare_modes(
+            self._guarded_spec,
+            [
+                ("ACK", None, {"ack": 4}),
+                ("ACK", None, {"ack": 1}),  # guard rejects: 1 < 5
+                ("ACK", None, {"ack": 9}),
+                ("STOP", None, {}),
+            ],
+        )
+
+    def test_sealed_spec_carries_dispatch_indexes(self):
+        # Satellite to the staged tier: the precomputed (state,
+        # transition) indexes land at seal time even when the
+        # staged-closure tier is disabled, and answer exactly like the
+        # linear scans they replace.
+        from repro.core import dispatch
+
+        dispatch.set_enabled(False)
+        try:
+            spec = sender_spec()
+        finally:
+            dispatch.set_enabled(True)
+        assert spec._transition_index is not None
+        assert spec._source_index is not None
+        for name, transition in spec._transition_index.items():
+            assert spec.transition_named(name) is transition
+        for state_name in spec.states:
+            indexed = [t.name for t in spec.transitions_from(state_name)]
+            scanned = [
+                t.name
+                for t in spec.transitions
+                if t.source.state.name == state_name
+            ]
+            assert indexed == scanned
+
+    def test_staged_table_covers_sender(self):
+        from repro.core import dispatch
+
+        prior = dispatch.enabled()
+        dispatch.set_enabled(True)
+        try:
+            spec = sender_spec()
+            table = dispatch.staged_table(spec)
+            assert table is not None
+            assert set(table.by_name) == {"SEND", "OK", "FAIL", "FINISH"}
+            machine = Machine(spec)
+            machine.exec_trans("SEND", b"x")
+            machine.exec_trans("OK", verified_packet())
+            # A clean run never demotes a staged closure.
+            assert all(
+                staged.match is not None for staged in table.by_name.values()
+            )
+        finally:
+            dispatch.set_enabled(prior)
+
+    def test_divergence_counter_absent_on_clean_run(self):
+        from repro.core import dispatch
+        from repro.obs import Instrumentation
+
+        prior = dispatch.enabled()
+        dispatch.set_enabled(True)
+        try:
+            instr = Instrumentation()
+            machine = Machine(sender_spec(), obs=instr)
+            machine.exec_trans("SEND", b"x")
+            machine.exec_trans("FAIL")
+            assert instr.registry.value(
+                "machine.staged_divergences",
+                machine="sender", transition="SEND", phase="match",
+            ) == 0
+            assert dispatch.stats()["tables"] >= 1
+        finally:
+            dispatch.set_enabled(prior)

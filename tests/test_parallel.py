@@ -1,0 +1,202 @@
+"""``repro.parallel``: sharded batches, parallel conformance, crash recovery.
+
+The contract under test everywhere here is *transparency*: turning the
+pool on (or having a worker die mid-batch) may change timing, but never
+results — batch outputs, conformance findings, coverage, and corpus
+files must be byte-identical to the serial run.
+"""
+
+import random
+
+import pytest
+
+from repro import fastpath, obs, parallel
+from repro.conformance.registry import all_spec_entries
+from repro.conformance.runner import run_all
+from repro.fastpath import batch
+from repro.parallel.confrun import execute_unit, plan_units, run_all_parallel
+from repro.parallel.policy import _from_env
+from repro.parallel.pool import CallError
+
+
+@pytest.fixture(autouse=True)
+def _clean_parallel():
+    """Every test starts serial and leaves no pool (or policy) behind."""
+    parallel.set_policy(parallel.Parallel(workers=0))
+    yield
+    parallel.shutdown()
+    parallel.set_policy(_from_env())
+
+
+@pytest.fixture
+def tcp_corpus():
+    entry = next(e for e in all_spec_entries() if e.name == "TcpHeader")
+    rng = random.Random(11)
+    packets = [entry.generate(rng) for _ in range(300)]
+    values = [p._values for p in packets]
+    wires = [entry.spec.encode(p) for p in packets]
+    return entry.spec, values, wires
+
+
+class TestPolicy:
+    def test_token_resolution(self):
+        assert parallel.resolve_workers("off") == 0
+        assert parallel.resolve_workers("none") == 0
+        assert parallel.resolve_workers("0") == 0
+        assert parallel.resolve_workers("1") == 0  # one worker buys nothing
+        assert parallel.resolve_workers("3") == 3
+        assert parallel.resolve_workers("auto") >= 0
+
+    def test_use_restores_policy(self):
+        before = parallel.get_policy()
+        with parallel.use(workers=4, min_batch=7):
+            assert parallel.get_policy().workers == 4
+            assert parallel.get_policy().min_batch == 7
+        assert parallel.get_policy() == before
+
+    def test_small_batches_never_shard(self):
+        with parallel.use(workers=2, min_batch=1000):
+            assert parallel.maybe_pool(999) is None
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            parallel.Parallel(workers=-1)
+
+
+class TestShardedBatches:
+    def test_sharded_outputs_identical_to_serial(self, tcp_corpus):
+        spec, values, wires = tcp_corpus
+        with fastpath.use(mode="always"):
+            serial_enc = batch.encode_many(spec, values)
+            serial_dec = batch.decode_many(spec, wires)
+            with parallel.use(workers=2, min_batch=64):
+                sharded_enc = batch.encode_many(spec, values)
+                sharded_dec = batch.decode_many(spec, wires)
+        assert sharded_enc == serial_enc
+        assert sharded_dec == serial_dec
+        stats = parallel.stats()
+        assert stats["batches_sharded"] == 2
+        assert stats["chunks"] == 4
+        assert stats["worker_failures"] == 0
+
+    def test_source_shipped_once_per_worker(self, tcp_corpus):
+        spec, values, _ = tcp_corpus
+        with fastpath.use(mode="always"), parallel.use(workers=2, min_batch=64):
+            batch.encode_many(spec, values)
+            first = parallel.stats()["source_ships"]
+            batch.encode_many(spec, values)
+        assert first == 2  # one ship per worker
+        assert parallel.stats()["source_ships"] == 2  # warm cache: no re-ship
+
+    def test_off_policy_is_serial(self, tcp_corpus):
+        spec, values, _ = tcp_corpus
+        with fastpath.use(mode="always"), parallel.use(workers=0):
+            batch.encode_many(spec, values)
+        assert parallel.stats()["batches_sharded"] == 0
+
+
+class TestCrashRecovery:
+    def test_worker_crash_falls_back_then_recovers(self, tcp_corpus):
+        spec, values, _ = tcp_corpus
+        instr = obs.enable()
+        instr.registry.reset()
+        try:
+            with fastpath.use(mode="always"):
+                expected = batch.encode_many(spec, values)
+                with parallel.use(workers=2, min_batch=64):
+                    pool = parallel.get_pool()
+                    pool.inject_crash(0)
+                    crashed = batch.encode_many(spec, values)
+                    assert crashed == expected  # in-process fallback, same bytes
+                    stats = parallel.stats()
+                    assert stats["worker_failures"] >= 1
+                    assert stats["fallbacks"] >= 1
+                    assert instr.registry.value(
+                        "parallel.worker_failures", reason="crash"
+                    ) >= 1
+                    # The pool respawned the dead slot: the next batch
+                    # shards again instead of limping along serial.
+                    sharded_before = stats["batches_sharded"]
+                    again = batch.encode_many(spec, values)
+                    assert again == expected
+                    assert parallel.stats()["batches_sharded"] > sharded_before
+                    assert pool.alive()
+        finally:
+            obs.disable()
+
+    def test_call_errors_are_lenient(self):
+        with parallel.use(workers=2):
+            pool = parallel.get_pool()
+            results = pool.run_calls(
+                [
+                    ("repro.conformance.runner:derive_rng", {"seed": 1}),
+                    ("repro.no_such_module:missing", {}),
+                ]
+            )
+        assert not isinstance(results[0], CallError)
+        assert isinstance(results[1], CallError)
+        assert "no_such_module" in results[1].message
+
+
+class TestParallelConformance:
+    def test_plan_matches_serial_budget_split(self):
+        units = plan_units(400, ("fuzz", "machine"), None, None, 600)
+        kinds = {u["kind"] for u in units}
+        assert kinds == {"fuzz", "machine"}
+        fuzz = [u for u in units if u["kind"] == "fuzz"]
+        assert all(u["budget"] == max(1, 400 // len(fuzz)) for u in fuzz)
+        machine = [u for u in units if u["kind"] == "machine"]
+        assert all(u["shrink_budget"] == 300 for u in machine)
+
+    def test_findings_identical_to_serial(self, tmp_path):
+        serial_corpus = tmp_path / "serial.jsonl"
+        parallel_corpus = tmp_path / "parallel.jsonl"
+        serial = run_all(seed=5, budget=120, corpus_path=str(serial_corpus))
+        report = run_all_parallel(
+            workers=2, seed=5, budget=120, corpus_path=str(parallel_corpus)
+        )
+        assert [e.engine for e in report.engines] == [
+            e.engine for e in serial.engines
+        ]
+        for mine, theirs in zip(report.engines, serial.engines):
+            assert mine.cases == theirs.cases
+            assert mine.findings == theirs.findings
+        assert report.coverage == serial.coverage
+        assert parallel_corpus.read_bytes() == serial_corpus.read_bytes()
+
+    def test_merged_obs_counters_match_serial(self):
+        def counters():
+            return {
+                (name, tuple(sorted(entry["labels"].items()))): entry["value"]
+                for name, entries in obs.get_default().registry.snapshot().items()
+                for entry in entries
+                if entry["kind"] == "counter" and entry["value"]
+            }
+
+        instr = obs.enable()
+        try:
+            instr.registry.reset()
+            run_all(seed=9, budget=80, engines=("fuzz",))
+            serial = counters()
+            instr.registry.reset()
+            run_all_parallel(workers=2, seed=9, budget=80, engines=("fuzz",))
+            merged = counters()
+        finally:
+            obs.disable()
+        assert merged == serial
+
+    def test_failed_unit_reruns_in_process(self, monkeypatch):
+        # Break every remote call; the parent must quietly redo each unit
+        # itself and still produce the serial report.
+        from repro.parallel import confrun
+
+        monkeypatch.setattr(confrun, "_EXECUTE", "repro.no_such_module:missing")
+        serial = run_all(seed=2, budget=60, engines=("machine",))
+        report = run_all_parallel(workers=2, seed=2, budget=60, engines=("machine",))
+        assert report.engines[0].cases == serial.engines[0].cases
+        assert report.engines[0].findings == serial.engines[0].findings
+        assert report.coverage == serial.coverage
+
+    def test_execute_unit_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown conformance unit"):
+            execute_unit("quantum", "x", 0, 1, 1)

@@ -181,7 +181,7 @@ def measure(
 TIERS = ("interpreted", "compiled", "batch", "batch_big", "parallel")
 
 
-def run(seed: int, budget_seconds: float, workers: int) -> Dict[str, Any]:
+def run(seed: int, budget_seconds: float, workers: int = 0) -> Dict[str, Any]:
     corpus = build_corpus(seed)
     results: Dict[str, Any] = {}
     for name, bundle in sorted(corpus.items()):

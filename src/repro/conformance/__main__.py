@@ -6,9 +6,20 @@ Examples::
     python -m repro.conformance --engines fuzz --specs ArqData --json
     python -m repro.conformance --corpus out/corpus.jsonl
     python -m repro.conformance --replay out/corpus.jsonl
+    python -m repro.conformance --triage out/bundles/fuzz_bug_crash-....jsonl
+
+With ``REPRO_OBS_EXPORT`` set (a JSONL path, a ``host:port``, or a
+comma-separated mix) the run streams live metric snapshots — from the
+worker telemetry plane when ``--workers N`` shards the run, from a
+periodic in-process publisher otherwise — and finishes with one
+``final`` payload holding the merged registry.  ``python -m repro.obs
+top <path>`` renders the stream live; ``REPRO_OBS_FLIGHTREC=<dir>``
+additionally dumps a replayable flight-recorder bundle on every
+undeclared failure (see ``--triage``).
 
 Exit status 0 means every engine ran clean (or every replayed entry
-still reproduces); 1 means findings (or replay drift).
+still reproduces, or a triaged bundle still reproduces); 1 means
+findings (or replay/triage drift).
 """
 
 from __future__ import annotations
@@ -64,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a saved corpus instead of running the engines",
     )
     parser.add_argument(
+        "--triage",
+        default=None,
+        metavar="BUNDLE",
+        help=(
+            "load a flight-recorder bundle (REPRO_OBS_FLIGHTREC) and "
+            "re-execute its recorded failure deterministically"
+        ),
+    )
+    parser.add_argument(
         "--shrink-budget",
         type=int,
         default=600,
@@ -106,38 +126,80 @@ def _apply_fastpath(choice: Optional[str]) -> None:
         set_policy(FastPath(mode=choice))
 
 
+def _triage(path: str) -> int:
+    """Replay one flight-recorder bundle; 0 when it still reproduces."""
+    from repro.obs.live.flightrec import load_bundle, replay_bundle
+
+    bundle = load_bundle(path)
+    print(
+        f"bundle {path}: kind={bundle.kind} subject={bundle.subject or '-'} "
+        f"seed={bundle.seed} frames={len(bundle.frames)} "
+        f"trace={len(bundle.trace)} spans"
+    )
+    if bundle.detail:
+        print(f"  recorded: {bundle.detail}")
+    status, detail = replay_bundle(bundle)
+    print(f"  {status.upper()}: {detail}")
+    return 0 if status == "reproduced" else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_fastpath(args.fastpath)
+    if args.triage:
+        return _triage(args.triage)
     if args.replay:
         checked, drifts = replay_corpus(args.replay)
         print(f"replayed {checked} corpus entr{'y' if checked == 1 else 'ies'}")
         for drift in drifts:
             print(f"  DRIFT: {drift}")
         return 1 if drifts else 0
-    if args.workers > 1:
-        from repro.parallel.confrun import run_all_parallel
 
-        report = run_all_parallel(
-            workers=args.workers,
-            seed=args.seed,
-            budget=args.budget,
-            engines=args.engines,
-            specs=args.specs,
-            machines=args.machines,
-            corpus_path=args.corpus,
-            shrink_budget=args.shrink_budget,
-        )
-    else:
-        report = run_all(
-            seed=args.seed,
-            budget=args.budget,
-            engines=args.engines,
-            specs=args.specs,
-            machines=args.machines,
-            corpus_path=args.corpus,
-            shrink_budget=args.shrink_budget,
-        )
+    # The live telemetry plane, when REPRO_OBS_EXPORT names a target.
+    from repro.obs.instrument import enable, get_default
+    from repro.obs.live.expose import Exporter, PeriodicPublisher
+
+    exporter = Exporter.from_env()
+    publisher = None
+    if exporter is not None:
+        obs = enable()  # exports need a recording registry
+        if args.workers <= 1:
+            # Serial runs have no worker pipes to ride: publish the
+            # process registry directly on a timer.
+            publisher = PeriodicPublisher(exporter, obs.registry.snapshot)
+        print(f"obs export: {exporter.describe()}", file=sys.stderr)
+    try:
+        if args.workers > 1:
+            from repro.parallel.confrun import run_all_parallel
+
+            report = run_all_parallel(
+                workers=args.workers,
+                seed=args.seed,
+                budget=args.budget,
+                engines=args.engines,
+                specs=args.specs,
+                machines=args.machines,
+                corpus_path=args.corpus,
+                shrink_budget=args.shrink_budget,
+                exporter=exporter,
+            )
+        else:
+            report = run_all(
+                seed=args.seed,
+                budget=args.budget,
+                engines=args.engines,
+                specs=args.specs,
+                machines=args.machines,
+                corpus_path=args.corpus,
+                shrink_budget=args.shrink_budget,
+            )
+            if exporter is not None:
+                exporter.publish(get_default().registry.snapshot(), kind="final")
+    finally:
+        if publisher is not None:
+            publisher.stop()
+        if exporter is not None:
+            exporter.close()
     print(report.to_json() if args.json else report.render())
     return 0 if report.ok else 1
 

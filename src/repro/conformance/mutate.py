@@ -35,6 +35,7 @@ from repro.conformance.corpus import Corpus, CorpusEntry
 from repro.conformance.coverage import FIELD_MUTATIONS, CoverageMap
 from repro.conformance.registry import SpecEntry
 from repro.conformance.shrink import shrink_bytes
+from repro.obs.live import flightrec
 from repro.testing import GenerationError
 
 ACCEPT = "accept"
@@ -277,6 +278,17 @@ class MutationFuzzer:
                     detail=classify(self.spec, shrunk)[1] or detail,
                 )
                 findings.append(finding)
+                # Arm REPRO_OBS_FLIGHTREC and every confirmed bug also
+                # drops a replayable bundle (no-op when unarmed).
+                flightrec.record_crash(
+                    f"fuzz_{outcome}",
+                    subject=self.spec.name,
+                    detail=finding.detail,
+                    seed=self.seed,
+                    data=mutated,
+                    shrunk=shrunk,
+                    extra={"engine": "fuzz", "strategy": strategy},
+                )
                 if self.corpus is not None:
                     self.corpus.add(
                         CorpusEntry(

@@ -134,9 +134,19 @@ _FALLBACK_ERRORS = (ValueError, TypeError, OverflowError, KeyError, IndexError)
 
 
 def _fp_demote(
-    spec: Any, state: Any, reason: str, obs: Optional[Instrumentation]
+    spec: Any,
+    state: Any,
+    reason: str,
+    obs: Optional[Instrumentation],
+    payload: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Demote a diverging spec and count the divergence in repro.obs."""
+    """Demote a diverging spec and count the divergence in repro.obs.
+
+    ``payload`` carries the offending operation (``{"op": "decode",
+    "data": ...}`` or ``{"op": "encode", "values": ...}``) to the
+    flight recorder so ``--triage`` can re-run the exact divergence;
+    demotion is the cold path, so the recorder hook costs nothing here.
+    """
     _fp_cache_demote(state, reason)
     if obs is None:
         obs = get_default()
@@ -144,6 +154,22 @@ def _fp_demote(
         obs.registry.counter(
             "fastpath.divergences", spec=spec.name, reason=reason
         ).inc()
+    from repro.obs.live.flightrec import record_crash
+
+    extra: Dict[str, Any] = {"reason": reason}
+    data: Optional[bytes] = None
+    if payload is not None:
+        data = payload.get("data")
+        extra.update(
+            (key, value) for key, value in payload.items() if key != "data"
+        )
+    record_crash(
+        "fastpath_demotion",
+        subject=spec.name,
+        detail=reason,
+        data=data,
+        extra=extra,
+    )
 
 
 def _fast_encode(
@@ -157,12 +183,18 @@ def _fast_encode(
         # propagates and the two tiers agree; if it succeeds, the
         # compiled closure was wrong to raise — a real divergence.
         encoded, _ = _encode_fields(spec, values)
-        _fp_demote(spec, state, "encode-error", obs)
+        _fp_demote(
+            spec, state, "encode-error", obs,
+            {"op": "encode", "values": repr(dict(values))},
+        )
         return encoded
     if state.verify:
         expected, _ = _encode_fields(spec, values)
         if encoded != expected:
-            _fp_demote(spec, state, "encode-mismatch", obs)
+            _fp_demote(
+                spec, state, "encode-mismatch", obs,
+                {"op": "encode", "values": repr(dict(values))},
+            )
             return expected
     return encoded
 
@@ -176,12 +208,18 @@ def _fast_encode_spans(
         encoded = state.codec.build(values, spans)
     except _FALLBACK_ERRORS:
         encoded, spans = _encode_fields(spec, values)
-        _fp_demote(spec, state, "encode-error", obs)
+        _fp_demote(
+            spec, state, "encode-error", obs,
+            {"op": "encode", "values": repr(dict(values))},
+        )
         return encoded, spans
     if state.verify:
         expected, expected_spans = _encode_fields(spec, values)
         if encoded != expected or spans != expected_spans:
-            _fp_demote(spec, state, "encode-mismatch", obs)
+            _fp_demote(
+                spec, state, "encode-mismatch", obs,
+                {"op": "encode", "values": repr(dict(values))},
+            )
             return expected, expected_spans
     return encoded, spans
 
@@ -196,16 +234,24 @@ def _fast_decode(
         # Interpreter rerun: canonical DecodeError on agreement,
         # divergence demotion when it succeeds where compiled raised.
         values = _decode_fields(spec, data)
-        _fp_demote(spec, state, "decode-error", obs)
+        _fp_demote(
+            spec, state, "decode-error", obs, {"op": "decode", "data": data}
+        )
         return values
     if state.verify:
         try:
             expected = _decode_fields(spec, data)
         except DecodeError:
-            _fp_demote(spec, state, "decode-mismatch", obs)
+            _fp_demote(
+                spec, state, "decode-mismatch", obs,
+                {"op": "decode", "data": data},
+            )
             raise
         if values != expected:
-            _fp_demote(spec, state, "decode-mismatch", obs)
+            _fp_demote(
+                spec, state, "decode-mismatch", obs,
+                {"op": "decode", "data": data},
+            )
             return expected
     return values
 
@@ -340,12 +386,18 @@ def compute_checksums(spec: Any, values: Mapping[str, Any]) -> Dict[str, Any]:
             working = state.codec.finalize(values)
         except _FALLBACK_ERRORS:
             working = _compute_checksums_interpreted(spec, values)
-            _fp_demote(spec, state, "finalize-error", None)
+            _fp_demote(
+                spec, state, "finalize-error", None,
+                {"op": "finalize", "values": repr(dict(values))},
+            )
             return working
         if state.verify:
             expected = _compute_checksums_interpreted(spec, values)
             if working != expected:
-                _fp_demote(spec, state, "finalize-mismatch", None)
+                _fp_demote(
+                    spec, state, "finalize-mismatch", None,
+                    {"op": "finalize", "values": repr(dict(values))},
+                )
                 return expected
         return working
     return _compute_checksums_interpreted(spec, values)

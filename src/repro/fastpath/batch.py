@@ -93,7 +93,17 @@ def _pool_run(
         return pool.run_codec(
             op, state.fingerprint, state.codec.source, spec_name, items
         )
-    except _parallel.ParallelFallback:
+    except _parallel.ParallelFallback as exc:
+        from repro.obs.live.flightrec import record_crash
+
+        # The in-process rerun makes fallbacks invisible to callers;
+        # the flight recorder (when armed) keeps them diagnosable.
+        record_crash(
+            "parallel_fallback",
+            subject=spec_name,
+            detail=str(exc),
+            extra={"op": op, "items": len(items)},
+        )
         return None
 
 

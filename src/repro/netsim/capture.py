@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.netsim.channel import Channel
+from repro.obs.live import flightrec
 from repro.obs.trace import SpanRecord, Tracer, frame_digest
 
 
@@ -86,6 +87,10 @@ class Capture:
                     size=len(captured.data),
                     digest=captured.digest,
                 )
+            # Feed the flight recorder's last-N-frames ring (no-op
+            # unless REPRO_OBS_FLIGHTREC armed it), so a crash bundle
+            # carries the wire traffic that led up to the failure.
+            flightrec.record_frame(captured.data, context=captured.channel_name)
             original_send(frame)
 
         channel.send = tapped

@@ -36,7 +36,9 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MergeError,
     MetricsRegistry,
+    compact_snapshot,
     log_buckets,
 )
 from repro.obs.report import export_json, render_dashboard
@@ -46,8 +48,10 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MergeError",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "compact_snapshot",
     "log_buckets",
     "Tracer",
     "SpanRecord",

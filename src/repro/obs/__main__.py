@@ -1,0 +1,77 @@
+"""``python -m repro.obs`` — the operational CLI for the telemetry plane.
+
+Two subcommands, both reading live-export streams (see
+``repro.obs.live.expose``):
+
+* ``report <export>`` renders the final dashboard from an export file —
+  the post-run view;
+* ``top <export>`` tails the stream and redraws the dashboard per
+  payload with counter rates — the during-run view, meant for a second
+  terminal beside ``python -m repro.conformance --workers N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.live.top import report_command, top_command
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Operational tools for the repro.obs telemetry plane.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render the dashboard from an export file"
+    )
+    report.add_argument("export", help="live-export JSONL (or export_json file)")
+    report.add_argument(
+        "--trace-limit",
+        type=int,
+        default=30,
+        help="max trace spans in the dashboard (default 30)",
+    )
+
+    top = sub.add_parser(
+        "top", help="tail an export stream and redraw the dashboard live"
+    )
+    top.add_argument("export", help="live-export JSONL stream to tail")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="poll cadence in seconds (default 0.5)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N frames (default: follow until a final payload)",
+    )
+    top.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="render what the file already holds, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        return report_command(args.export, trace_limit=args.trace_limit)
+    return top_command(
+        args.export,
+        interval=args.interval,
+        frames=args.frames,
+        follow=not args.no_follow,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Delta snapshots: what changed in a registry since the last tick.
+
+A :class:`DeltaTracker` watches one :class:`~repro.obs.metrics.
+MetricsRegistry` and, on each :meth:`~DeltaTracker.delta_snapshot` call,
+returns only the *change* since the previous call — in exactly the shape
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` consumes, so
+the receiving side needs no new machinery: merging every delta in order
+reconstructs the sender's registry.
+
+This is the wire format of the worker→parent telemetry stream (see
+DESIGN.md "The live telemetry plane").  Deltas instead of full snapshots
+because a conformance worker's registry grows to hundreds of labeled
+coverage counters: shipping the handful that moved each tick keeps the
+pipe traffic proportional to activity, not to registry size.
+
+Reset awareness: ``execute_unit`` zeroes the worker's registry at unit
+start, so a counter can legitimately go *down* between ticks.  The
+tracker treats any decrease as a reset and emits the post-reset value as
+the delta — summed deltas then equal the total work done across units,
+which is what a live aggregate view wants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import LabelItems, MetricsRegistry
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class DeltaTracker:
+    """Per-registry baseline state for computing successive deltas."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._base: Dict[Tuple[str, LabelItems], Dict[str, Any]] = {}
+
+    def delta_snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """The change since the previous call, as a mergeable snapshot.
+
+        Metrics that did not move are omitted entirely; an idle tick
+        returns ``{}``.  The baseline only advances when the snapshot
+        read succeeds, so a failed read (e.g. the registry mutating
+        under a concurrent snapshot) loses nothing — the next tick
+        carries the accumulated change.
+        """
+        snapshot = self.registry.snapshot()
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        seen: set = set()
+        for name, entries in snapshot.items():
+            for entry in entries:
+                key = (name, _label_key(entry.get("labels", {})))
+                seen.add(key)
+                delta = self._entry_delta(entry, self._base.get(key))
+                if delta is not None:
+                    out.setdefault(name, []).append(delta)
+                self._base[key] = entry
+        # Metrics dropped from the registry (clear()) must not leave a
+        # stale baseline: a recreated counter would read as a reset
+        # anyway, but pruning keeps the tracker's memory bounded by the
+        # live registry's size.
+        for key in [k for k in self._base if k not in seen]:
+            del self._base[key]
+        return out
+
+    @staticmethod
+    def _entry_delta(
+        entry: Dict[str, Any], base: Optional[Dict[str, Any]]
+    ) -> Optional[Dict[str, Any]]:
+        kind = entry.get("kind")
+        labels = entry.get("labels", {})
+        if kind == "counter":
+            value = entry.get("value", 0)
+            last = base.get("value", 0) if base else 0
+            delta = value - last if value >= last else value  # reset
+            if not delta:
+                return None
+            return {"labels": labels, "kind": "counter", "value": delta}
+        if kind == "gauge":
+            value = entry.get("value", 0.0)
+            last = base.get("value", 0.0) if base else 0.0
+            delta = value - last
+            if not delta:
+                return None
+            return {"labels": labels, "kind": "gauge", "value": delta}
+        if kind == "histogram":
+            count = entry.get("count", 0)
+            last_count = base.get("count", 0) if base else 0
+            if count < last_count:  # reset: the whole entry is the delta
+                base = None
+                last_count = 0
+            if count == last_count:
+                return None
+            counts = list(entry.get("bucket_counts") or [])
+            if base is not None:
+                last_counts = base.get("bucket_counts") or []
+                counts = [
+                    c - (last_counts[i] if i < len(last_counts) else 0)
+                    for i, c in enumerate(counts)
+                ]
+            return {
+                "labels": labels,
+                "kind": "histogram",
+                "bounds": list(entry.get("bounds") or []),
+                "bucket_counts": counts,
+                "count": count - last_count,
+                "sum": entry.get("sum", 0.0)
+                - (base.get("sum", 0.0) if base else 0.0),
+                # min/max pass through: merge widens, so the receiver's
+                # min-of-mins / max-of-maxes stays exact.
+                "min": entry.get("min"),
+                "max": entry.get("max"),
+            }
+        return None

@@ -26,6 +26,15 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 LabelItems = Tuple[Tuple[str, Any], ...]
 
 
+class MergeError(ValueError):
+    """A snapshot cannot be folded into this registry without corrupting it.
+
+    Raised by :meth:`MetricsRegistry.merge_snapshot` *before* any value is
+    applied: the registry is untouched when this escapes, so a malformed
+    worker payload costs one merge, never the counters already aggregated.
+    """
+
+
 def log_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
     """A geometric ladder of ``count`` upper bounds starting at ``start``.
 
@@ -294,6 +303,76 @@ class MetricsRegistry:
             )
         return result
 
+    def _validate_merge(self, snapshot: Dict[str, List[Dict[str, Any]]]) -> None:
+        """Reject a snapshot that cannot merge cleanly (registry untouched)."""
+        claimed: Dict[Tuple[str, LabelItems], str] = {}
+        for name, entries in snapshot.items():
+            if not isinstance(entries, (list, tuple)):
+                raise MergeError(
+                    f"metric {name!r}: entries must be a list, got {entries!r}"
+                )
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    raise MergeError(
+                        f"metric {name!r}: entry must be a dict, got {entry!r}"
+                    )
+                labels = entry.get("labels", {})
+                if not isinstance(labels, dict):
+                    raise MergeError(
+                        f"metric {name!r}: labels must be a dict, got {labels!r}"
+                    )
+                kind = entry.get("kind")
+                if kind not in ("counter", "gauge", "histogram"):
+                    raise MergeError(
+                        f"cannot merge metric {name!r} of kind {kind!r}"
+                    )
+                key = (name, _label_items(labels))
+                seen_kind = claimed.get(key)
+                if seen_kind is not None and seen_kind != kind:
+                    raise MergeError(
+                        f"metric {name!r}{labels}: snapshot claims both "
+                        f"{seen_kind!r} and {kind!r} for one label set"
+                    )
+                claimed[key] = kind
+                existing = self._metrics.get(key)
+                if existing is not None and existing.kind != kind:
+                    raise MergeError(
+                        f"metric {name!r}{labels}: snapshot says {kind!r}, "
+                        f"registry holds a {existing.kind}"
+                    )
+                if kind == "counter":
+                    value = entry.get("value", 0)
+                    if not isinstance(value, (int, float)) or value < 0:
+                        raise MergeError(
+                            f"counter {name!r}{labels}: value must be a "
+                            f"non-negative number, got {value!r}"
+                        )
+                elif kind == "gauge":
+                    value = entry.get("value", 0.0)
+                    if not isinstance(value, (int, float)):
+                        raise MergeError(
+                            f"gauge {name!r}{labels}: value must be a number, "
+                            f"got {value!r}"
+                        )
+                else:
+                    bounds = list(entry.get("bounds") or [])
+                    if not bounds or list(bounds) != sorted(bounds):
+                        raise MergeError(
+                            f"histogram {name!r}{labels}: bounds must be a "
+                            f"non-empty ascending ladder, got {bounds!r}"
+                        )
+                    if existing is not None and list(existing.bounds) != bounds:
+                        raise MergeError(
+                            f"histogram {name!r}: cannot merge bucket ladder "
+                            f"{bounds!r} into {list(existing.bounds)!r}"
+                        )
+                    counts = entry.get("bucket_counts") or []
+                    if len(counts) > len(bounds) + 1:
+                        raise MergeError(
+                            f"histogram {name!r}{labels}: {len(counts)} bucket "
+                            f"counts for {len(bounds)} bounds"
+                        )
+
     def merge_snapshot(self, snapshot: Dict[str, List[Dict[str, Any]]]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
@@ -301,10 +380,14 @@ class MetricsRegistry:
         snapshots (plain JSON-ready dicts) over a queue and the parent
         merges them, so a sharded run's metrics read exactly like the
         serial run's.  Counters and gauges add their values; histograms
-        add bucket counts, counts and sums and widen min/max.  Merging a
-        histogram into an existing one with different bounds raises —
-        that is a schema clash, not data.
+        add bucket counts, counts and sums and widen min/max.
+
+        The whole snapshot is validated before anything is applied:
+        mismatched histogram ladders, unknown metric kinds, malformed
+        values, and label sets claimed by two different kinds all raise
+        :class:`MergeError` with the registry left exactly as it was.
         """
+        self._validate_merge(snapshot)
         for name, entries in snapshot.items():
             for entry in entries:
                 labels = entry.get("labels", {})
@@ -317,14 +400,9 @@ class MetricsRegistry:
                     value = entry.get("value", 0.0)
                     if value:
                         self.gauge(name, **labels).inc(value)
-                elif kind == "histogram":
+                else:
                     bounds = entry.get("bounds")
                     histogram = self.histogram(name, bounds=bounds, **labels)
-                    if list(histogram.bounds) != list(bounds or []):
-                        raise ValueError(
-                            f"histogram {name!r}: cannot merge bucket ladder "
-                            f"{bounds!r} into {list(histogram.bounds)!r}"
-                        )
                     counts = entry.get("bucket_counts") or []
                     for index, count in enumerate(counts):
                         histogram.counts[index] += count
@@ -335,10 +413,6 @@ class MetricsRegistry:
                         histogram.min = low
                     if high is not None and high > histogram.max:
                         histogram.max = high
-                else:
-                    raise ValueError(
-                        f"cannot merge metric {name!r} of kind {kind!r}"
-                    )
 
     def reset(self) -> None:
         """Zero every metric, keeping instances (cached handles stay valid)."""
@@ -358,3 +432,43 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+
+def compact_snapshot(
+    snapshot: Dict[str, List[Dict[str, Any]]]
+) -> Dict[str, List[Dict[str, Any]]]:
+    """A summary-stat view of a snapshot: histograms lose their buckets.
+
+    Counters and gauges pass through untouched; each histogram entry is
+    reduced to ``count``/``sum``/``min``/``max``/``mean``/``p50``/``p95``
+    with the raw ``bounds``/``bucket_counts`` arrays dropped.  This is
+    what keeps committed artifacts like ``BENCH_obs.json`` reviewable —
+    a bucket ladder is ~40 numbers per histogram, the summary is 7.
+
+    A compacted histogram can no longer be re-merged (the bucket counts
+    are gone), so this is a *terminal* export form: compact for storage
+    and diffing, keep the full snapshot when further aggregation is
+    needed.
+    """
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for name, entries in snapshot.items():
+        compacted = []
+        for entry in entries:
+            if entry.get("kind") != "histogram":
+                compacted.append(dict(entry))
+                continue
+            compacted.append(
+                {
+                    "labels": entry.get("labels", {}),
+                    "kind": "histogram",
+                    "count": entry.get("count", 0),
+                    "sum": entry.get("sum", 0.0),
+                    "min": entry.get("min"),
+                    "max": entry.get("max"),
+                    "mean": entry.get("mean", 0.0),
+                    "p50": entry.get("p50", 0.0),
+                    "p95": entry.get("p95", 0.0),
+                }
+            )
+        out[name] = compacted
+    return out

@@ -166,6 +166,7 @@ def run_all_parallel(
     machines: Optional[Sequence[str]] = None,
     corpus_path: Optional[str] = None,
     shrink_budget: int = 600,
+    exporter: Optional[Any] = None,
 ) -> ConformanceReport:
     """Like ``run_all`` but with units sharded over ``workers`` processes.
 
@@ -173,12 +174,26 @@ def run_all_parallel(
     ``workers < 2``) or gets wedged; individual unit failures re-run
     in-process.  The report — findings, case counts, coverage summary,
     corpus file — is byte-identical to the serial run's.
+
+    ``exporter`` (a :class:`repro.obs.live.Exporter`) switches the live
+    telemetry plane on: worker streamers' metric deltas are folded into
+    a :class:`~repro.obs.live.stream.LiveAggregator` and republished as
+    the run progresses, and the authoritative merged registry goes out
+    as one ``final`` payload.  The live view is advisory — it never
+    touches the process-default registry, so the end-of-run merge stays
+    byte-identical to a serial run whether or not exports are on.
     """
+    from repro.obs.live import flightrec
+    from repro.obs.live.stream import LiveAggregator
+
     units = plan_units(budget, engines, specs, machines, shrink_budget)
     results: Optional[List[Any]] = None
+    aggregator = LiveAggregator(exporter) if exporter is not None else None
     with _parallel.use(workers=workers):
         pool = _parallel.get_pool()
         if pool is not None and units:
+            if aggregator is not None:
+                pool.telemetry_sink = aggregator.ingest
             calls = [
                 (
                     _EXECUTE,
@@ -194,10 +209,23 @@ def run_all_parallel(
             ]
             try:
                 results = pool.run_calls(calls)
-            except _parallel.ParallelFallback:
+            except _parallel.ParallelFallback as exc:
+                flightrec.record_crash(
+                    "parallel_fallback",
+                    subject="confrun",
+                    detail=str(exc),
+                    seed=seed,
+                    extra={"workers": workers, "units": len(units)},
+                )
                 results = None
+            finally:
+                if aggregator is not None:
+                    # Pick up the streamers' last periodic ticks before
+                    # the pool (and its result queue) go away.
+                    pool.drain_telemetry()
+                    pool.telemetry_sink = None
     if results is None:
-        return run_all(
+        report = run_all(
             seed=seed,
             budget=budget,
             engines=engines,
@@ -206,6 +234,13 @@ def run_all_parallel(
             corpus_path=corpus_path,
             shrink_budget=shrink_budget,
         )
+        if exporter is not None:
+            serial_obs = get_default()
+            exporter.publish(
+                serial_obs.registry.snapshot() if serial_obs.enabled else {},
+                kind="final",
+            )
+        return report
     merged: List[Dict[str, Any]] = []
     for unit, result in zip(units, results):
         if isinstance(result, _parallel.CallError):
@@ -241,6 +276,19 @@ def run_all_parallel(
         if obs.enabled and result.get("obs"):
             obs.registry.merge_snapshot(result["obs"])
     saved_path = corpus.save() if corpus_path else None
+    if exporter is not None:
+        # One authoritative final payload: the *merged* registry (the
+        # thing guaranteed byte-identical to serial), not the live view.
+        view = aggregator.snapshot() if aggregator is not None else {}
+        exporter.publish(
+            obs.registry.snapshot()
+            if obs.enabled
+            else view.get("metrics", {}),
+            kind="final",
+            workers=view.get("workers", {}),
+            dropped=view.get("dropped", 0),
+            trace=view.get("trace", [])[-64:],
+        )
     return ConformanceReport(
         seed=seed,
         budget=budget,

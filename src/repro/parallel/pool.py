@@ -90,6 +90,10 @@ class ShardedPool:
         ]
         self._task_counter = 0
         self._closed = False
+        #: Optional callable fed every worker telemetry payload (the
+        #: ``("obs", ...)`` messages streamed over the result queue by
+        #: ``repro.obs.live``).  ``None`` — the default — drops them.
+        self.telemetry_sink: Optional[Any] = None
         self.stats: Dict[str, int] = {
             "batches_sharded": 0,
             "chunks": 0,
@@ -97,6 +101,7 @@ class ShardedPool:
             "worker_failures": 0,
             "fallbacks": 0,
             "source_ships": 0,
+            "telemetry_updates": 0,
         }
 
     @property
@@ -197,6 +202,40 @@ class ShardedPool:
         replies = self._collect(task_id, pending, {}, strict=False)
         return [replies[chunk] for chunk in range(len(calls))]
 
+    # -- telemetry ---------------------------------------------------------
+
+    def _ingest_telemetry(self, payload: Any) -> None:
+        sink = self.telemetry_sink
+        if sink is None:
+            return
+        self.stats["telemetry_updates"] += 1
+        try:
+            sink(payload)
+        except Exception:
+            pass  # a live view must never take down the run it observes
+
+    def drain_telemetry(self, timeout: float = 0.2) -> int:
+        """Route queued telemetry with no task pending; returns count routed.
+
+        ``_collect`` only reads the result queue while chunks are
+        outstanding, so worker streamers' final flush ticks (sent when
+        their last unit ends) would otherwise sit unread.  Callers that
+        want a complete live view call this once after the last batch.
+        """
+        routed = 0
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                message = self._results.get(timeout=0.02)
+            except _queue.Empty:
+                continue
+            if message[0] == "obs":
+                self._ingest_telemetry(message[3])
+                routed += 1
+            # Non-obs messages here are stale replies from aborted
+            # tasks; dropping them matches _collect's policy.
+        return routed
+
     # -- collection --------------------------------------------------------
 
     def _next_task_id(self) -> int:
@@ -250,6 +289,11 @@ class ShardedPool:
                     pending.clear()
                 continue
             status, reply_task, chunk, payload = message
+            if status == "obs":
+                # Telemetry rides the result pipe: route to the live
+                # aggregator (if one is attached) and keep collecting.
+                self._ingest_telemetry(payload)
+                continue
             if reply_task != task_id or chunk not in pending:
                 continue  # stale reply from an aborted earlier task
             slot = pending.pop(chunk)

@@ -25,6 +25,13 @@ task_id, chunk, message)``.  Workers never fall back to the
 interpreter: any exception is reported to the parent, which reruns the
 work in-process so callers always see the canonical error from the
 canonical tier.
+
+When ``REPRO_OBS_EXPORT`` names a target, each worker also runs a
+:class:`~repro.obs.live.stream.TelemetryStreamer`: a daemon thread that
+puts ``("obs", 0, index, payload)`` metric-delta messages on the same
+result queue, giving the parent a live aggregate view of a sharded run
+(see ``repro.obs.live``).  Telemetry is advisory — the authoritative
+per-unit obs snapshots still travel in task replies.
 """
 
 from __future__ import annotations
@@ -88,6 +95,20 @@ def crash(signum: int = 0) -> None:
     os._exit(17)
 
 
+def _start_telemetry(index: int, results: Any) -> Any:
+    """A running telemetry streamer when exports are on, else ``None``."""
+    raw = os.environ.get("REPRO_OBS_EXPORT", "").strip()
+    if not raw or raw.lower() in ("off", "0", "no", "none", "false"):
+        return None
+    from repro.obs import enable
+    from repro.obs.live.stream import TelemetryStreamer
+
+    enable()  # deltas need a recording default registry in this process
+    streamer = TelemetryStreamer(index, results)
+    streamer.start()
+    return streamer
+
+
 def worker_main(index: int, tasks: Any, results: Any) -> None:
     """Serve tasks until a ``("stop",)`` message or queue breakdown."""
     # A worker must never open its own pool: conformance units call the
@@ -97,6 +118,15 @@ def worker_main(index: int, tasks: Any, results: Any) -> None:
     from repro.parallel import policy as _policy
 
     _policy.configure(workers=0)
+    streamer = _start_telemetry(index, results)
+    try:
+        _serve(tasks, results)
+    finally:
+        if streamer is not None:
+            streamer.stop()
+
+
+def _serve(tasks: Any, results: Any) -> None:
     while True:
         try:
             task = tasks.get()

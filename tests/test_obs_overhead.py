@@ -100,3 +100,29 @@ def test_decode_packet_disabled_overhead_within_bound():
         f"instrumented-but-disabled decode_packet is {ratio:.3f}x the no-op "
         f"baseline (bound {MAX_OVERHEAD}x)"
     )
+
+
+def test_disabled_export_plane_stays_within_bound(monkeypatch):
+    """The live-export plane must cost nothing when not asked for.
+
+    With ``REPRO_OBS_EXPORT`` unset (or an off token) no exporter is even
+    constructed — so the hot paths run the exact disabled-instrumentation
+    code measured above, and the same 1.10x gate must hold with the
+    environment explicitly in the disabled state.
+    """
+    from repro.obs.live.expose import Exporter
+    from repro.obs.live.flightrec import active_recorder, reset_env_cache
+
+    monkeypatch.delenv("REPRO_OBS_EXPORT", raising=False)
+    monkeypatch.delenv("REPRO_OBS_FLIGHTREC", raising=False)
+    assert Exporter.from_env() is None
+    assert Exporter.from_env({"REPRO_OBS_EXPORT": "off"}) is None
+    reset_env_cache()
+    assert active_recorder() is None
+
+    ratio = _best_ratio(_time_decodes)
+    assert ratio <= MAX_OVERHEAD, (
+        f"decode_packet with the export plane disabled is {ratio:.3f}x the "
+        f"no-op baseline (bound {MAX_OVERHEAD}x)"
+    )
+    reset_env_cache()

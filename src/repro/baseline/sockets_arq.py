@@ -253,6 +253,134 @@ class SocketsStyleReceiver:
         self.acks_sent += 1
 
 
+class BlockingArqClient:
+    """Hand-rolled blocking-socket ARQ sender: the classic while-loop.
+
+    The live counterpart of :class:`SocketsStyleSender` — same wire
+    format, same manual state flag, but over a real kernel socket
+    against the ``repro.serve`` plane, which is exactly the interop the
+    paper's position implies: a DSL-hosted endpoint must converse with
+    code written the ordinary way.
+
+    Over UDP each frame is one datagram and the bare wire format works
+    as-is.  Over TCP it does not: a stream carries no frame boundaries,
+    so two back-to-back acks arrive as one ``recv`` and a frame can
+    split across reads — the classic sockets-code framing mistake (the
+    first cut of this client read fixed sizes and desynchronized).  The
+    fix is the classic sockets-code fix, hand-rolled here to match the
+    serving plane's stream framing: a 2-byte big-endian length prefix
+    before every frame, with an explicit read-exactly loop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        transport: str = "udp",
+        rto: float = 0.25,
+        max_retries: int = 25,
+    ) -> None:
+        if transport not in ("udp", "tcp"):
+            raise ValueError(f"transport must be udp|tcp, got {transport!r}")
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.rto = rto
+        self.max_retries = max_retries
+        self.seq = 0
+        self.frames_sent = 0
+        self.retransmissions = 0
+        self.acks_seen = 0
+
+    # -- hand-rolled stream framing (the TCP fix) ------------------------
+
+    @staticmethod
+    def _frame_tcp(frame: bytes) -> bytes:
+        return struct.pack("!H", len(frame)) + frame
+
+    @staticmethod
+    def _read_exact(sock, count: int) -> bytes:
+        """Read exactly ``count`` bytes or raise on EOF; the loop every
+        sockets programmer eventually writes after the first time
+        ``recv`` returns a short read."""
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("peer closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv_frame(self, sock) -> bytes:
+        if self.transport == "udp":
+            return sock.recv(4096)
+        (length,) = struct.unpack("!H", self._read_exact(sock, 2))
+        if length == 0:
+            raise ConnectionError("zero-length frame prefix")
+        return self._read_exact(sock, length)
+
+    def _send_frame(self, sock, frame: bytes) -> None:
+        if self.transport == "udp":
+            sock.send(frame)
+        else:
+            sock.sendall(self._frame_tcp(frame))
+        self.frames_sent += 1
+
+    # -- the transfer loop ----------------------------------------------
+
+    def send_messages(self, messages: Sequence[bytes]) -> dict:
+        """Send every message stop-and-wait; returns a summary dict."""
+        import socket as socket_mod
+
+        kind = (
+            socket_mod.SOCK_DGRAM
+            if self.transport == "udp"
+            else socket_mod.SOCK_STREAM
+        )
+        ok = True
+        with socket_mod.socket(socket_mod.AF_INET, kind) as sock:
+            sock.connect((self.host, self.port))
+            sock.settimeout(self.rto)
+            for payload in messages:
+                if not self._send_one(sock, payload):
+                    ok = False
+                    break
+        return {
+            "ok": ok,
+            "sent": self.frames_sent,
+            "retransmissions": self.retransmissions,
+            "acks_seen": self.acks_seen,
+            "final_seq": self.seq,
+        }
+
+    def _send_one(self, sock, payload: bytes) -> bool:
+        import socket as socket_mod
+
+        frame = pack_data(self.seq, payload)
+        self._send_frame(sock, frame)
+        retries = 0
+        while True:
+            try:
+                reply = self._recv_frame(sock)
+            except socket_mod.timeout:
+                if retries >= self.max_retries:
+                    return False
+                retries += 1
+                self.retransmissions += 1
+                self._send_frame(sock, frame)
+                continue
+            err, ack_seq = unpack_ack(reply)
+            self.acks_seen += 1
+            if err != ERR_OK or ack_seq != self.seq:
+                self.retransmissions += 1
+                self._send_frame(sock, frame)
+                continue
+            self.seq = (self.seq + 1) % 256
+            return True
+
+
 def run_baseline_transfer(
     messages: Sequence[bytes],
     config: Optional[ChannelConfig] = None,

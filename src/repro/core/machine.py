@@ -264,6 +264,23 @@ class Machine:
             return self._exec_trans_observed(obs, transition_name, payload, inputs)
         return self._execute(self._lookup(transition_name), payload, inputs)
 
+    def try_exec(
+        self, transition_name: str, payload: Any = None, **inputs: int
+    ) -> Optional[StateInstance]:
+        """Attempt a transition; ``None`` (machine unchanged) on rejection.
+
+        The event-loop driver hook: a server demultiplexing frames wants
+        "does this event apply here?" as a branch, not an exception —
+        rejection is the *common* case when probing which of several
+        transitions (RECV vs. DUP_ACK, say) a verified frame feeds.
+        Rejections still land on the observability counters with their
+        reason codes; only the control flow changes.
+        """
+        try:
+            return self.exec_trans(transition_name, payload, **inputs)
+        except InvalidTransitionError:
+            return None
+
     def _lookup(self, transition_name: str) -> TransitionSpec:
         try:
             return self.spec.transition_named(transition_name)

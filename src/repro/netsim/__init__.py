@@ -12,7 +12,8 @@ from repro.netsim.simulator import Event, Simulator
 from repro.netsim.timers import Timer
 from repro.netsim.channel import Channel, ChannelConfig, ChannelStats
 from repro.netsim.node import DuplexLink, Node
-from repro.netsim.capture import Capture, CapturedFrame
+from repro.netsim.capture import Capture, CapturedFrame, describe_frame
+from repro.netsim.replay import ScriptedHost, replay_frames
 
 __all__ = [
     "Simulator",
@@ -25,4 +26,7 @@ __all__ = [
     "DuplexLink",
     "Capture",
     "CapturedFrame",
+    "describe_frame",
+    "ScriptedHost",
+    "replay_frames",
 ]

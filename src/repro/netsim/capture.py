@@ -22,6 +22,28 @@ from repro.obs.live import flightrec
 from repro.obs.trace import SpanRecord, Tracer, frame_digest
 
 
+def describe_frame(data: bytes, specs: Sequence[Any]) -> Tuple[Optional[Any], str]:
+    """Decode one wire frame against a spec list; ``(verified, text)``.
+
+    The first spec that parses *and verifies* the frame names it; frames
+    no spec accepts render as hex.  This is the rendering the capture
+    transcript uses, factored out so other planes (the real-socket
+    recorder in ``repro.serve``) describe frames identically.
+    """
+    for spec in specs:
+        verified = spec.try_parse(data)
+        if verified is not None:
+            packet = verified.value
+            fields = ", ".join(
+                f"{name}={packet[name]!r}"
+                for name in spec.field_names
+                if not isinstance(packet[name], (bytes, bytearray))
+                or len(packet[name]) <= 8
+            )
+            return verified, f"{spec.name} {{{fields}}}"
+    return None, f"UNPARSEABLE {len(data)}B: {data.hex()}"
+
+
 @dataclass(frozen=True)
 class CapturedFrame:
     """One frame as submitted to a channel."""
@@ -140,18 +162,7 @@ class Capture:
 
     def decode(self, frame: CapturedFrame) -> Tuple[Optional[Any], str]:
         """Try each spec; returns (verified-or-None, description)."""
-        for spec in self.specs:
-            verified = spec.try_parse(frame.data)
-            if verified is not None:
-                packet = verified.value
-                fields = ", ".join(
-                    f"{name}={packet[name]!r}"
-                    for name in spec.field_names
-                    if not isinstance(packet[name], (bytes, bytearray))
-                    or len(packet[name]) <= 8
-                )
-                return verified, f"{spec.name} {{{fields}}}"
-        return None, f"UNPARSEABLE {len(frame.data)}B: {frame.data.hex()}"
+        return describe_frame(frame.data, self.specs)
 
     def transcript(self) -> str:
         """Render the whole capture, one line per frame."""

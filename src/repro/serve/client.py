@@ -1,0 +1,423 @@
+"""Socket clients: the DSL *sender* machines driven over real UDP.
+
+Each client hosts the same sender machine the simulator drivers use
+(:class:`~repro.protocols.arq.ArqSender` and friends) but swaps the
+substrate: ``node.send`` becomes ``transport.sendto``, the simulator
+:class:`~repro.netsim.timers.Timer` becomes a
+:class:`~repro.serve.wheel.WheelTimer` riding the hashed wheel, and
+completion is an :class:`asyncio.Future` instead of ``sim.run()``
+draining.  The protocol reasoning — which transition fires, what a
+verified frame proves — is untouched, which is the whole point: the
+machine doesn't know it moved from the simulator to a socket.
+
+All clients share one :class:`WheelRunner` (one tick task advancing one
+wheel off ``loop.time()``); 500 concurrent clients cost 500 wheel
+entries, not 500 ``call_later`` handles churning the loop's heap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.machine import Machine
+from repro.protocols.arq import ACK_PACKET, ARQ_PACKET, build_sender_spec
+from repro.protocols.handshake import (
+    HANDSHAKE_PACKET,
+    MSG_ACK,
+    MSG_SYN,
+    MSG_SYN_ACK,
+    build_initiator_spec,
+)
+from repro.protocols.sliding import (
+    KIND_SELECTIVE,
+    SLIDING_ACK,
+    SLIDING_PACKET,
+    build_gbn_sender_spec,
+)
+from repro.serve.wheel import TimerWheel, WheelTimer
+
+
+class WheelRunner:
+    """One ticking hashed wheel shared by any number of clients."""
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, tick: float = 0.005
+    ) -> None:
+        self.loop = loop
+        self.wheel = TimerWheel(tick=tick, slots=512, now=loop.time())
+        self._tick = tick
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> "WheelRunner":
+        if self._task is None:
+            self._task = self.loop.create_task(self._run())
+        return self
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self._tick)
+                self.wheel.advance(self.loop.time())
+        except asyncio.CancelledError:
+            pass
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+
+class _ClientProtocol(asyncio.DatagramProtocol):
+    """Thin datagram shim: hand every inbound frame to the client."""
+
+    def __init__(self, on_frame: Callable[[bytes], None]) -> None:
+        self.on_frame = on_frame
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self.on_frame(data)
+
+    def error_received(self, exc: Exception) -> None:
+        pass  # ICMP unreachable etc.; the retransmission timer covers it
+
+
+class BaseClient:
+    """Shared socket/future plumbing for the concrete protocol clients."""
+
+    protocol: str = ""
+
+    def __init__(self, runner: WheelRunner) -> None:
+        self.runner = runner
+        self.loop = runner.loop
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.done: "asyncio.Future[bool]" = self.loop.create_future()
+        self.frames_sent = 0
+        self.retransmissions = 0
+        self.failed = False
+
+    async def connect(self, host: str, port: int) -> "BaseClient":
+        transport, _ = await self.loop.create_datagram_endpoint(
+            lambda: _ClientProtocol(self._on_frame),
+            remote_addr=(host, port),
+        )
+        self.transport = transport
+        return self
+
+    def _sendto(self, data: bytes) -> None:
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.sendto(data)
+            self.frames_sent += 1
+
+    def _finish(self, ok: bool) -> None:
+        self.failed = not ok
+        if not self.done.done():
+            self.done.set_result(ok)
+
+    async def wait(self, timeout: float = 10.0) -> bool:
+        """Await completion; False on protocol failure or deadline."""
+        try:
+            return await asyncio.wait_for(asyncio.shield(self.done), timeout)
+        except asyncio.TimeoutError:
+            self.failed = True
+            return False
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+
+    def _on_frame(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "ok": self.done.done() and not self.failed and self.done.result(),
+            "frames_sent": self.frames_sent,
+            "retransmissions": self.retransmissions,
+        }
+
+
+class ArqClient(BaseClient):
+    """Stop-and-wait sender machine over a datagram endpoint."""
+
+    protocol = "arq"
+
+    def __init__(
+        self,
+        runner: WheelRunner,
+        messages: Sequence[bytes],
+        rto: float = 0.25,
+        max_retries: int = 25,
+    ) -> None:
+        super().__init__(runner)
+        self.machine = Machine(build_sender_spec(), context=list(messages))
+        self.queue: List[bytes] = list(messages)
+        self.rto = rto
+        self.max_retries = max_retries
+        self.retries_used = 0
+        self.timer = WheelTimer(
+            runner.wheel, rto, self._on_timeout, name="arq-rto"
+        )
+
+    @property
+    def current_seq(self) -> int:
+        return self.machine.current.values[0]
+
+    def start(self) -> None:
+        self._advance()
+
+    def _advance(self) -> None:
+        if not self.queue:
+            self.machine.exec_trans("FINISH")
+            self.timer.stop()
+            self._finish(True)
+            return
+        payload = self.queue[0]
+        self.machine.exec_trans("SEND", payload)
+        self._transmit(payload)
+        self.retries_used = 0
+        self.timer.start(self.rto)
+
+    def _retransmit(self) -> None:
+        payload = self.queue[0]
+        self.machine.exec_trans("SEND", payload)
+        self._transmit(payload)
+        self.retransmissions += 1
+        self.timer.start(self.rto)
+
+    def _transmit(self, payload: bytes) -> None:
+        packet = ARQ_PACKET.make(
+            seq=self.current_seq, length=len(payload), payload=payload
+        )
+        self._sendto(ARQ_PACKET.encode(packet))
+
+    def _on_frame(self, data: bytes) -> None:
+        if not self.machine.in_state("Wait"):
+            return  # stale ack after we already advanced (or finished)
+        verified = ACK_PACKET.try_parse(data)
+        if verified is not None and verified.value.seq != self.current_seq:
+            return  # verified but stale: dropping avoids a duplicate storm
+        if verified is None:
+            self.machine.exec_trans("FAIL")
+            self._retransmit()
+            return
+        self.timer.stop()
+        self.machine.exec_trans("OK", verified)
+        self.queue.pop(0)
+        self._advance()
+
+    def _on_timeout(self) -> None:
+        if not self.machine.in_state("Wait"):
+            return  # stale timer
+        self.machine.exec_trans("TIMEOUT")
+        if self.retries_used >= self.max_retries:
+            self._finish(False)  # rests in Timeout(seq): consistent failure
+            return
+        self.retries_used += 1
+        self.machine.exec_trans("RETRY")
+        self._retransmit()
+
+
+class HandshakeClient(BaseClient):
+    """Three-way handshake initiator over a datagram endpoint."""
+
+    protocol = "handshake"
+
+    def __init__(
+        self,
+        runner: WheelRunner,
+        seed: int = 0,
+        rto: float = 0.25,
+        max_retries: int = 8,
+    ) -> None:
+        super().__init__(runner)
+        self.machine = Machine(build_initiator_spec())
+        self.rng = random.Random(seed)
+        self.rto = rto
+        self.max_retries = max_retries
+        self.retries_used = 0
+        self._syn_frame = b""
+        self.timer = WheelTimer(
+            runner.wheel, rto, self._on_timeout, name="hs-rto"
+        )
+
+    @property
+    def established(self) -> bool:
+        return self.machine.in_state("Established")
+
+    def start(self) -> None:
+        nonce = self.rng.randrange(1, 1 << 16)
+        self.machine.exec_trans("CONNECT", nonce=nonce)
+        packet = HANDSHAKE_PACKET.make(
+            msg_type=MSG_SYN, initiator_nonce=nonce, responder_nonce=0
+        )
+        self._syn_frame = HANDSHAKE_PACKET.encode(packet)
+        self._sendto(self._syn_frame)
+        self.timer.start(self.rto)
+
+    def _on_frame(self, data: bytes) -> None:
+        if not self.machine.in_state("SynSent"):
+            return
+        verified = HANDSHAKE_PACKET.try_parse(data)
+        if verified is None or verified.value.msg_type != MSG_SYN_ACK:
+            return
+        if verified.value.initiator_nonce != self.machine.current.values[0]:
+            return  # stale or forged SYN-ACK: the guard would reject it too
+        self.machine.exec_trans("SYNACK", verified)
+        self.timer.stop()
+        reply = HANDSHAKE_PACKET.make(
+            msg_type=MSG_ACK,
+            initiator_nonce=verified.value.initiator_nonce,
+            responder_nonce=verified.value.responder_nonce,
+        )
+        self._sendto(HANDSHAKE_PACKET.encode(reply))
+        self._finish(True)
+
+    def _on_timeout(self) -> None:
+        if not self.machine.in_state("SynSent"):
+            return
+        if self.retries_used >= self.max_retries:
+            # The machine's GIVE_UP: a consistent, inspectable failure.
+            self.machine.exec_trans("GIVE_UP")
+            self._finish(False)
+            return
+        # SYN retransmission is a driver policy (the machine stays in
+        # SynSent): resend the *same* SYN so the nonce doesn't fork.
+        self.retries_used += 1
+        self.retransmissions += 1
+        self._sendto(self._syn_frame)
+        self.timer.start(self.rto)
+
+
+class SlidingClient(BaseClient):
+    """Selective-repeat sender machine over a datagram endpoint."""
+
+    protocol = "sliding"
+
+    def __init__(
+        self,
+        runner: WheelRunner,
+        messages: Sequence[bytes],
+        window: int = 8,
+        rto: float = 0.25,
+        max_retries: int = 50,
+    ) -> None:
+        super().__init__(runner)
+        self.messages = list(messages)
+        self.window = window
+        self.machine = Machine(build_gbn_sender_spec(window), context=self.messages)
+        self.rto = rto
+        self.max_retries = max_retries
+        self.acked: Dict[int, bool] = {}
+        self.timers: Dict[int, WheelTimer] = {}
+        self.retries: Dict[int, int] = {}
+
+    @property
+    def base(self) -> int:
+        return self.machine.current.values[0]
+
+    @property
+    def nxt(self) -> int:
+        values = self.machine.current.values
+        return values[1] if len(values) > 1 else self.base
+
+    def start(self) -> None:
+        self._fill_window()
+        self._maybe_finish()
+
+    def _fill_window(self) -> None:
+        while (
+            not self.machine.is_finished
+            and self.nxt < len(self.messages)
+            and self.nxt - self.base < self.window
+        ):
+            seq = self.nxt
+            payload = self.messages[seq]
+            self.machine.exec_trans("SEND", payload)
+            self._transmit(seq, payload)
+            self._arm_timer(seq)
+
+    def _transmit(self, seq: int, payload: bytes) -> None:
+        packet = SLIDING_PACKET.make(seq=seq, length=len(payload), payload=payload)
+        self._sendto(SLIDING_PACKET.encode(packet))
+
+    def _arm_timer(self, seq: int) -> None:
+        if seq not in self.timers:
+            self.timers[seq] = WheelTimer(
+                self.runner.wheel,
+                self.rto,
+                lambda s=seq: self._on_timeout(s),
+                name=f"sr-rto-{seq}",
+            )
+        self.timers[seq].start(self.rto)
+
+    def _maybe_finish(self) -> None:
+        if (
+            not self.machine.is_finished
+            and self.base == self.nxt
+            and self.base >= len(self.messages)
+        ):
+            self.machine.exec_trans("FINISH")
+            self._finish(True)
+
+    def _on_frame(self, data: bytes) -> None:
+        if self.machine.is_finished:
+            return
+        verified = SLIDING_ACK.try_parse(data)
+        if verified is None or verified.value.kind != KIND_SELECTIVE:
+            return
+        seq = verified.value.seq
+        if not self.base <= seq < self.nxt or self.acked.get(seq):
+            if seq < self.base:
+                self.machine.exec_trans("ACK_OLD", verified, ack=seq)
+            return
+        self.acked[seq] = True
+        if seq in self.timers:
+            self.timers[seq].stop()
+        # Slide the base over the contiguous acked prefix: each step is
+        # the machine's ACK transition with the base packet's number.
+        while self.base < self.nxt and self.acked.get(self.base):
+            self.machine.exec_trans("ACK", verified, ack=self.base)
+        self._fill_window()
+        self._maybe_finish()
+
+    def _on_timeout(self, seq: int) -> None:
+        if self.machine.is_finished or self.acked.get(seq):
+            return
+        if not self.base <= seq < self.nxt:
+            return
+        used = self.retries.get(seq, 0)
+        if used >= self.max_retries:
+            self._finish(False)
+            return
+        self.retries[seq] = used + 1
+        self._transmit(seq, self.messages[seq])
+        self.retransmissions += 1
+        self._arm_timer(seq)
+
+
+def build_client(
+    protocol: str,
+    runner: WheelRunner,
+    *,
+    messages: Sequence[bytes] = (),
+    seed: int = 0,
+    rto: float = 0.25,
+    window: int = 8,
+) -> BaseClient:
+    """Instantiate the right client for a serve protocol name."""
+    if protocol == "arq":
+        return ArqClient(runner, messages, rto=rto)
+    if protocol == "handshake":
+        return HandshakeClient(runner, seed=seed, rto=rto)
+    if protocol == "sliding":
+        return SlidingClient(runner, messages, window=window, rto=rto)
+    raise ValueError(
+        f"unknown serve protocol {protocol!r}; known: arq, handshake, sliding"
+    )

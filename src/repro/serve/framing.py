@@ -1,0 +1,77 @@
+"""Stream framing: datagram-shaped protocols over byte-stream transports.
+
+Every protocol in the registry is specified in frames; UDP preserves
+frame boundaries for free but TCP is a byte stream, so the serving plane
+wraps each frame in a 2-byte big-endian length prefix.  The prefix is
+deliberately the simplest thing that works — the interesting parsing all
+lives in the packet specs; this layer only restores the boundaries the
+stream erased.
+
+:class:`StreamDeframer` is incremental and allocation-light: feed it
+arbitrary chunks, take complete frames out.  Oversized or zero-length
+prefixes raise :class:`FramingError` immediately — a desynchronized
+stream cannot be resynchronized, so the connection must be torn down
+(the TCP transport does exactly that).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+#: Length prefix: unsigned 16-bit big-endian.
+HEADER = struct.Struct("!H")
+
+#: Frames larger than this are rejected; protects the per-connection
+#: buffer from a hostile or desynchronized peer.
+MAX_FRAME = 65_535
+
+
+class FramingError(ValueError):
+    """A stream produced an impossible frame; the connection is dead."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap one frame for a stream transport."""
+    if not payload:
+        raise FramingError("cannot frame an empty payload")
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME}")
+    return HEADER.pack(len(payload)) + payload
+
+
+class StreamDeframer:
+    """Reassembles length-prefixed frames from arbitrary stream chunks."""
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self.frames_out = 0
+        self.bytes_in = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb a chunk; returns every frame it completed, in order."""
+        self.bytes_in += len(chunk)
+        self._buffer.extend(chunk)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                break
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length == 0:
+                raise FramingError("zero-length frame: stream is desynchronized")
+            if length > self.max_frame:
+                raise FramingError(
+                    f"declared frame of {length} bytes exceeds {self.max_frame}"
+                )
+            if len(self._buffer) < HEADER.size + length:
+                break
+            frames.append(bytes(self._buffer[HEADER.size : HEADER.size + length]))
+            del self._buffer[: HEADER.size + length]
+            self.frames_out += 1
+        return frames

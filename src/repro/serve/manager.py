@@ -1,0 +1,333 @@
+"""The session manager: demultiplex, bound, shed, observe.
+
+One :class:`SessionManager` owns every session a listener serves.  It is
+deliberately transport-agnostic and synchronous — the asyncio transports
+call into it, and the stress tests drive it directly — which keeps the
+overload logic (the part that must not be subtly wrong) testable without
+sockets or an event loop.
+
+Responsibilities, in the order a frame meets them:
+
+1. **Demultiplex** by peer key.  An unknown peer opens a session: its
+   app is built with a peer-derived seed, its packet specs are warmed
+   through the :mod:`repro.fastpath` compiled tier *at accept time* (no
+   64-call interpreter ramp on a serving path), and an exchange recorder
+   is attached when differential recording is on.
+2. **Admission under overload.**  When the session table is at
+   ``max_sessions``, the *oldest-idle* session is shed to make room —
+   the peer that has gone longest without traffic loses its slot, which
+   under SYN-flood-shaped load degrades to exactly the behaviour you
+   want (half-open strangers are reaped, active transfers survive).
+3. **Bounded queueing.**  Each session's receive queue is capped; a full
+   queue drops the frame (UDP) or reports congestion so the transport
+   pauses reading (TCP).  Drains are deferred through the host's
+   ``defer`` hook (``loop.call_soon`` live, inline in tests), so a
+   burst arriving in one loop iteration genuinely queues.
+4. **Idle reaping** rides the hashed timer wheel lazily: one timer per
+   session, rescheduled only when it fires early — no cancel churn on
+   the per-frame hot path.
+
+Everything lands on ``repro.obs``: ``serve.sessions_active`` gauge,
+open/close/shed/drop counters labeled by reason, per-dispatch spans
+(nesting the machine's own ``exec_trans`` spans), and session-lifetime
+histograms — so ``python -m repro.obs top`` pointed at a live server's
+export stream shows the serving plane breathing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fastpath.cache import active_state
+from repro.obs.instrument import Instrumentation, get_default
+from repro.serve.apps import app_class
+from repro.serve.record import ExchangeRecord, ExchangeRecorder
+from repro.serve.session import Session
+from repro.serve.wheel import TimerWheel
+
+Send = Callable[[bytes], None]
+Defer = Callable[[Callable[[], None]], None]
+
+
+class Admission:
+    """What happened to one offered frame."""
+
+    __slots__ = ("accepted", "congested", "session")
+
+    def __init__(self, accepted: bool, congested: bool, session: Session) -> None:
+        self.accepted = accepted
+        self.congested = congested
+        self.session = session
+
+
+def session_seed(base_seed: int, peer: str) -> int:
+    """Deterministic per-peer seed (CRC32, not randomized str hashing)."""
+    return zlib.crc32(f"{base_seed}:{peer}".encode())
+
+
+class SessionManager:
+    """Owns the session table for one listener.
+
+    Parameters
+    ----------
+    protocol:
+        Registry key into :data:`repro.serve.apps.APPS`.
+    wheel:
+        The hashed timer wheel driving idle reaping (and, live, shared
+        with the clients' retransmission timers).
+    clock:
+        Monotonic float source; ``loop.time`` live, hand-advanced in
+        tests.
+    max_sessions:
+        The shed threshold: admitting a new peer beyond this evicts the
+        oldest-idle session first.
+    max_queue:
+        Per-session receive-queue bound.
+    idle_timeout:
+        Seconds of silence before a session is reaped.  Doubles as the
+        protocol timer (the handshake responder's half-open RESET fires
+        on reaping).
+    app_params:
+        Extra keyword arguments for the session app (e.g. ``window``).
+    record:
+        Attach an exchange recorder to every session (the loopback
+        differential mode).
+    defer:
+        Drain scheduler; defaults to immediate (synchronous) draining.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        *,
+        wheel: TimerWheel,
+        clock: Callable[[], float],
+        max_sessions: int = 1024,
+        max_queue: int = 64,
+        idle_timeout: float = 30.0,
+        app_params: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+        record: bool = False,
+        defer: Optional[Defer] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be positive, got {max_sessions}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        self.protocol = protocol
+        self.app_cls = app_class(protocol)
+        self.wheel = wheel
+        self.clock = clock
+        self.max_sessions = max_sessions
+        self.max_queue = max_queue
+        self.idle_timeout = idle_timeout
+        self.app_params = dict(app_params or {})
+        self.seed = seed
+        self.record = record
+        self.defer: Defer = defer if defer is not None else (lambda fn: fn())
+        self.obs = obs if obs is not None else get_default()
+        self.sessions: Dict[Any, Session] = {}
+        #: Records of *closed* sessions, in close order.
+        self.records: List[ExchangeRecord] = []
+        self.opened_total = 0
+        self.closed_total = 0
+        self.shed_total = 0
+        self.drop_total = 0
+        self._drain_scheduled: Dict[Any, bool] = {}
+
+    # -- the datapath ------------------------------------------------------
+
+    def frame_from(self, peer: Any, data: bytes, send: Send) -> Admission:
+        """One inbound frame from ``peer``; the transport's entry point."""
+        session = self.sessions.get(peer)
+        if session is None:
+            session = self._open(peer, send)
+        accepted = session.enqueue(data)
+        obs = self.obs
+        if not accepted:
+            self.drop_total += 1
+            if obs.enabled:
+                obs.registry.counter(
+                    "serve.queue_drops", protocol=self.protocol
+                ).inc()
+        elif not self._drain_scheduled.get(peer):
+            self._drain_scheduled[peer] = True
+            self.defer(lambda: self._drain(peer))
+        return Admission(accepted, session.congested, session)
+
+    def _drain(self, peer: Any) -> None:
+        self._drain_scheduled[peer] = False
+        session = self.sessions.get(peer)
+        if session is None or session.closed:
+            return
+        obs = self.obs
+        now = self.clock()
+        while session.queue:
+            data = session.queue.popleft()
+            if obs.enabled:
+                obs.registry.counter(
+                    "serve.frames_in", protocol=self.protocol
+                ).inc()
+                with obs.tracer.span(
+                    "serve.dispatch", protocol=self.protocol, peer=str(peer)
+                ):
+                    session.consume(data, now)
+            else:
+                session.consume(data, now)
+        if session.congested:
+            session.congested = False
+            resume = session.resume
+            if resume is not None:
+                resume()
+
+    # -- session lifecycle -------------------------------------------------
+
+    def _open(self, peer: Any, send: Send) -> Session:
+        while len(self.sessions) >= self.max_sessions:
+            self._shed_oldest_idle()
+        now = self.clock()
+        seed = session_seed(self.seed, str(peer))
+        recorder: Optional[ExchangeRecorder] = None
+
+        def sending(data: bytes) -> None:
+            if recorder is not None:
+                recorder.frame_out(data)
+            obs = self.obs
+            if obs.enabled:
+                obs.registry.counter(
+                    "serve.frames_out", protocol=self.protocol
+                ).inc()
+            send(data)
+
+        if self.record:
+            recorder = ExchangeRecorder(
+                protocol=self.protocol,
+                peer=str(peer),
+                clock=self.clock,
+                seed=seed,
+                params=self.app_params,
+            )
+        app = self.app_cls(sending, seed=seed, **self.app_params)
+        # Accept-time codec warm-up: every spec this app speaks is pushed
+        # straight to the compiled tier (force bypasses the auto ramp; a
+        # refused spec simply stays interpreted).
+        for spec in app.specs:
+            active_state(spec, force=True)
+        session = Session(
+            peer=str(peer),
+            app=app,
+            max_queue=self.max_queue,
+            opened_at=now,
+            recorder=recorder,
+        )
+        self.sessions[peer] = session
+        self.opened_total += 1
+        session.idle_handle = self.wheel.schedule(
+            self.idle_timeout, lambda: self._idle_check(peer)
+        )
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter(
+                "serve.sessions_opened", protocol=self.protocol
+            ).inc()
+            obs.registry.gauge("serve.sessions_active").set(len(self.sessions))
+            obs.tracer.event(
+                "serve.session_open", protocol=self.protocol, peer=str(peer)
+            )
+        return session
+
+    def _idle_check(self, peer: Any) -> None:
+        session = self.sessions.get(peer)
+        if session is None or session.closed:
+            return
+        idle_for = self.clock() - session.last_activity
+        if idle_for + 1e-9 >= self.idle_timeout:
+            # Protocol timer first (the handshake responder's RESET),
+            # then reap the slot.
+            session.app.on_timer()
+            self.close(peer, reason="idle")
+        else:
+            # Activity since scheduling: re-arm for the remainder.  This
+            # lazy scheme touches the wheel once per timeout window, not
+            # once per frame.
+            session.idle_handle = self.wheel.schedule(
+                self.idle_timeout - idle_for, lambda: self._idle_check(peer)
+            )
+
+    def _shed_oldest_idle(self) -> None:
+        peer = min(
+            self.sessions, key=lambda p: (self.sessions[p].last_activity,)
+        )
+        self.shed_total += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter(
+                "serve.sessions_shed", protocol=self.protocol
+            ).inc()
+        self.close(peer, reason="shed")
+
+    def close(self, peer: Any, reason: str = "peer") -> Optional[Session]:
+        """Close one session; returns it (or None if unknown)."""
+        session = self.sessions.pop(peer, None)
+        if session is None:
+            return None
+        session.closed = True
+        self._drain_scheduled.pop(peer, None)
+        if session.idle_handle is not None:
+            self.wheel.cancel(session.idle_handle)
+            session.idle_handle = None
+        if session.recorder is not None:
+            self.records.append(session.recorder.record)
+        self.closed_total += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter(
+                "serve.sessions_closed", protocol=self.protocol, reason=reason
+            ).inc()
+            obs.registry.gauge("serve.sessions_active").set(len(self.sessions))
+            obs.registry.histogram(
+                "serve.session_seconds", protocol=self.protocol
+            ).observe(max(0.0, self.clock() - session.opened_at))
+            obs.tracer.event(
+                "serve.session_close",
+                protocol=self.protocol,
+                peer=str(peer),
+                reason=reason,
+            )
+        return session
+
+    def close_all(self, reason: str = "shutdown") -> int:
+        """Close every session; returns how many were open."""
+        peers = list(self.sessions)
+        for peer in peers:
+            self.close(peer, reason=reason)
+        return len(peers)
+
+    # -- introspection -----------------------------------------------------
+
+    def collect_records(self) -> List[ExchangeRecord]:
+        """Closed sessions' records plus the live ones, in open order."""
+        live = [
+            s.recorder.record
+            for s in self.sessions.values()
+            if s.recorder is not None
+        ]
+        return list(self.records) + live
+
+    def stats(self) -> Dict[str, int]:
+        """Operator counters (mirrored in obs when enabled)."""
+        return {
+            "active": len(self.sessions),
+            "opened": self.opened_total,
+            "closed": self.closed_total,
+            "shed": self.shed_total,
+            "queue_drops": self.drop_total,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionManager({self.protocol!r}, active={len(self.sessions)}, "
+            f"max={self.max_sessions})"
+        )

@@ -1,0 +1,89 @@
+"""One live session: app + bounded inbound queue + exchange record.
+
+A session is the unit the manager demultiplexes to — one peer address,
+one :class:`~repro.serve.apps.SessionApp`, one bounded receive queue,
+one optional :class:`~repro.serve.record.ExchangeRecorder`.  The queue
+is the backpressure point: transports enqueue, the manager drains, and
+a full queue is reported upward so a stream transport can pause its
+read side while a datagram transport sheds the frame (the only honest
+option UDP has).
+
+Frames are recorded at *consumption* time (when the app sees them), not
+arrival time: the differential oracle replays what the session actually
+processed, so a frame dropped by an overflowing queue — which the app
+never saw — correctly never reaches the oracle either.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.serve.apps import SessionApp
+from repro.serve.record import ExchangeRecorder
+
+
+class Session:
+    """State for one peer; created and owned by the session manager."""
+
+    __slots__ = (
+        "peer",
+        "app",
+        "recorder",
+        "queue",
+        "max_queue",
+        "opened_at",
+        "last_activity",
+        "congested",
+        "resume",
+        "idle_handle",
+        "drops",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        peer: str,
+        app: SessionApp,
+        max_queue: int,
+        opened_at: float,
+        recorder: Optional[ExchangeRecorder] = None,
+    ) -> None:
+        self.peer = peer
+        self.app = app
+        self.recorder = recorder
+        self.queue: Deque[bytes] = deque()
+        self.max_queue = max_queue
+        self.opened_at = opened_at
+        self.last_activity = opened_at
+        self.congested = False
+        #: Set by a stream transport that paused reading; called once the
+        #: queue drains back to empty.
+        self.resume: Optional[Callable[[], None]] = None
+        self.idle_handle: Any = None
+        self.drops = 0
+        self.closed = False
+
+    def enqueue(self, data: bytes) -> bool:
+        """Offer a frame; False (and a drop) when the queue is full."""
+        if len(self.queue) >= self.max_queue:
+            self.drops += 1
+            self.congested = True
+            return False
+        self.queue.append(data)
+        if len(self.queue) >= self.max_queue:
+            self.congested = True
+        return True
+
+    def consume(self, data: bytes, now: float) -> None:
+        """Feed one frame to the app, recording it; updates activity."""
+        self.last_activity = now
+        if self.recorder is not None:
+            self.recorder.frame_in(data)
+        self.app.on_frame(data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.peer!r}, {self.app.protocol}, "
+            f"queued={len(self.queue)})"
+        )

@@ -1,0 +1,181 @@
+"""Property tests for the serving plane's hashed timer wheel.
+
+The wheel promises exact accounting under any interleaving of
+schedule, cancel, and advance:
+
+* ``pending`` always equals the number of scheduled-but-unfired,
+  uncancelled entries;
+* a cancelled entry never fires, no matter how the wheel's slots wrap;
+* nothing fires early — an entry's callback runs only once the clock
+  has passed its deadline (bounded lateness: at most one tick);
+* within one ``advance`` call, entries fire in (deadline, seq) order;
+* cancelling twice, or cancelling a fired entry, is a reported no-op.
+
+Hypothesis drives random interleavings and checks the invariants after
+every step, mirroring the simulator's cancel/timer accounting net in
+``test_netsim_properties.py`` — the wheel is the serving plane's
+equivalent of the simulator's event heap, and earns the same scrutiny.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.wheel import TimerWheel, WheelTimer
+
+TICK = 0.01
+
+# One step of an interleaving: (op, a, b) where the integers parameterize
+# the op (delay choice, victim index, advance step).
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["schedule", "cancel", "advance", "double_cancel", "reentrant"]
+        ),
+        st.integers(0, 7),
+        st.integers(0, 5),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Model:
+    """Reference bookkeeping mirrored alongside the real wheel."""
+
+    def __init__(self):
+        self.wheel = TimerWheel(tick=TICK, slots=8, now=0.0)  # tiny: wraps often
+        self.now = 0.0
+        self.entries = []  # (handle, deadline) for every schedule ever made
+        self.fired = []  # (advance_id, deadline, seq) in callback order
+        self.advance_id = 0
+
+    def schedule(self, delay):
+        cell = {}
+
+        def on_fire():
+            handle = cell["handle"]
+            self.fired.append((self.advance_id, handle.deadline, handle.seq))
+
+        handle = self.wheel.schedule(delay, on_fire)
+        cell["handle"] = handle
+        self.entries.append((handle, self.now + delay))
+        return handle
+
+    def advance(self, now):
+        self.advance_id += 1
+        self.now = now
+        before = len(self.fired)
+        self.wheel.advance(now)
+        return self.fired[before:]
+
+    def live(self):
+        return [(h, d) for h, d in self.entries if h.live]
+
+
+class TestWheelAccounting:
+    @given(steps=_steps)
+    @settings(max_examples=200, deadline=None)
+    def test_interleavings_preserve_accounting(self, steps):
+        model = _Model()
+        wheel = model.wheel
+        for op, a, b in steps:
+            if op == "schedule":
+                model.schedule(a * 0.0137)  # 0 .. ~10 ticks, off-boundary
+            elif op in ("cancel", "double_cancel"):
+                if model.entries:
+                    victim, _ = model.entries[a % len(model.entries)]
+                    was_live = victim.live
+                    assert wheel.cancel(victim) == was_live
+                    if op == "double_cancel":
+                        assert wheel.cancel(victim) is False
+            elif op == "advance":
+                burst = model.advance(model.now + b * 0.0171)
+                # In-order firing within one advance call.
+                assert burst == sorted(burst, key=lambda f: (f[1], f[2]))
+            elif op == "reentrant":
+                # Callbacks that schedule and cancel while the wheel is
+                # mid-advance must not corrupt accounting.
+                if model.entries:
+                    victim, _ = model.entries[a % len(model.entries)]
+                    wheel.schedule(0.0, lambda v=victim: wheel.cancel(v))
+                    model.advance(model.now + TICK)
+            # The core invariants, after every operation.  live() reads
+            # the real handles' fired/cancelled flags, so every tracked
+            # entry the wheel still owes us is counted — helper entries
+            # from the reentrant op have already fired and cost nothing.
+            assert wheel.pending == len(model.live())
+            # A handle is never both cancelled and fired.
+            for handle, _ in model.entries:
+                assert not (handle.cancelled and handle.fired)
+            # Never early: every fired entry's deadline has passed.
+            for _, deadline, _ in model.fired:
+                assert deadline <= model.now + 1e-9
+            # Bounded lateness: anything due more than a tick ago is done.
+            for _, deadline in model.live():
+                assert deadline > model.now - TICK - 1e-9
+
+    @given(
+        delays=st.lists(st.floats(0.0, 0.5), min_size=1, max_size=30),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cancelled_entries_never_fire(self, delays, cancel_mask):
+        wheel = TimerWheel(tick=TICK, slots=16, now=0.0)
+        fired = []
+        handles = [
+            wheel.schedule(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        cancelled = set()
+        for i, (handle, kill) in enumerate(zip(handles, cancel_mask)):
+            if kill:
+                wheel.cancel(handle)
+                cancelled.add(i)
+        wheel.advance(1.0)  # everything due
+        assert set(fired).isdisjoint(cancelled)
+        assert set(fired) == set(range(len(delays))) - cancelled
+        assert wheel.pending == 0
+        assert wheel.fired_total == len(delays) - len(cancelled)
+        assert wheel.cancelled_total == len(cancelled)
+
+    @given(delay=st.floats(0.001, 1.0), fraction=st.floats(0.0, 0.999))
+    @settings(max_examples=200, deadline=None)
+    def test_never_fires_before_deadline(self, delay, fraction):
+        wheel = TimerWheel(tick=TICK, slots=8, now=0.0)
+        fired = []
+        wheel.schedule(delay, lambda: fired.append(True))
+        wheel.advance(delay * fraction)
+        assert not fired  # strictly before the deadline: silent
+        wheel.advance(delay + TICK)  # one tick of slack: must have fired
+        assert fired
+
+
+class TestWheelTimer:
+    def test_restart_supersedes_previous_deadline(self):
+        wheel = TimerWheel(tick=TICK, now=0.0)
+        fired = []
+        timer = WheelTimer(wheel, 0.05, lambda: fired.append(True), name="t")
+        timer.start()
+        timer.start(0.2)  # re-arm further out; the old entry is dead
+        wheel.advance(0.1)
+        assert not fired
+        wheel.advance(0.25)
+        assert fired == [True]
+
+    def test_stop_prevents_firing(self):
+        wheel = TimerWheel(tick=TICK, now=0.0)
+        fired = []
+        timer = WheelTimer(wheel, 0.05, lambda: fired.append(True), name="t")
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+        wheel.advance(1.0)
+        assert not fired
+
+    def test_fire_clears_running(self):
+        wheel = TimerWheel(tick=TICK, now=0.0)
+        timer = WheelTimer(wheel, 0.05, lambda: None, name="t")
+        timer.start()
+        wheel.advance(0.1)
+        assert not timer.running

@@ -406,7 +406,18 @@ def main(argv: List[str] | None = None) -> int:
         else:
             print(f"no baseline at {baseline_path}; absolute checks only")
     report = run(args.seed, args.budget, workers)
-    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    output_path = Path(args.output)
+    if output_path.exists():
+        # Sibling harnesses (benchmarks/bench_megasim.py) keep their own
+        # top-level keys in the same report file; preserve them.
+        try:
+            previous = json.loads(output_path.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        for key in ("megasim",):
+            if key in previous and key not in report:
+                report[key] = previous[key]
+    output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(render(report))
     print(f"\nwrote {args.output}")
     if args.check:

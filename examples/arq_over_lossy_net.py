@@ -59,7 +59,7 @@ capture.tap(link.backward)
 receiver = ArqReceiver(sim, receiver_node, "alice")
 sender = ArqSender(sim, sender_node, "bob", [b"alpha", b"beta"], rto=0.4)
 sender.start()
-sim.run_until(lambda: sender.done or sender.failed)
+sim.run_until(lambda: sender.done or sender.failed, max_events=200_000)
 
 print(trace_summary(sender.machine.trace))
 print()

@@ -38,7 +38,7 @@ sender = ArqSender(
     rto=0.4,
 )
 sender.start()
-sim.run_until(lambda: sender.done or sender.failed)
+sim.run_until(lambda: sender.done or sender.failed, max_events=200_000)
 
 print(f"transfer done={sender.done}  delivered={len(receiver.delivered)} "
       f"messages  retransmissions={sender.retransmissions}  "

@@ -14,7 +14,15 @@ once per :class:`~repro.core.statemachine.MachineSpec`, mirroring what
   ``_predicate_code`` translation the codec generator uses;
 * a **target** closure evaluating the target expressions and the
   parameter normalization (modular wrap for ``bits``-bounded params)
-  without touching the symbolic tree.
+  without touching the symbolic tree;
+* a **cohort** closure for population-scale execution
+  (:mod:`repro.megasim`): one generated Python loop applying the whole
+  transition — match, guard, target, normalization fused — to every
+  machine index in a dense value slab, returning the indices the guard
+  rejected so a caller can fall through to the next transition of an
+  event group.  Cohorts exist only for payload-free, input-free
+  transitions over states with at most one parameter; anything else
+  stays ``None`` and population code uses the per-instance closures.
 
 Anything the stager cannot express is left ``None`` and the machine
 runtime uses the interpreted path for that piece.  The interpreted path
@@ -49,6 +57,7 @@ _stats = {
     "matchers": 0,
     "guards": 0,
     "targets": 0,
+    "cohorts": 0,
     "demotions": 0,
 }
 
@@ -172,16 +181,101 @@ def _compile_target(
     return namespace["_target"]
 
 
+def _compile_cohort(
+    transition: TransitionSpec,
+) -> Optional[Callable[[Any, Any, Any, int], List[int]]]:
+    """A fused batch closure: the whole transition over a slab of machines.
+
+    ``_cohort(indices, slab, states, target_sid)`` applies the transition
+    to every machine index in ``indices``, reading and writing the single
+    parameter value in ``slab`` (an array indexed by machine) and the
+    dense state id in ``states`` when the transition changes state.  It
+    returns the indices that did *not* fire (pattern or guard miss), so a
+    population can fall through to the next transition of an event group.
+
+    Only transitions with no payload requirement, no execution-time
+    inputs, arity ≤ 1 on both ends, a ``Var``/``Const`` source argument
+    and codegen-able guard/target expressions are fused; the rest return
+    ``None`` and run through the per-instance closures.
+    """
+    if transition.requires is not None or transition.inputs:
+        return None
+    source, target = transition.source, transition.target
+    if len(source.args) > 1 or len(target.args) > 1:
+        return None
+    lines = [
+        "def _cohort(indices, slab, states, target_sid):",
+        "    misses = []",
+        "    _miss = misses.append",
+        "    for _i in indices:",
+    ]
+    bound: Optional[str] = None
+    if source.args:
+        arg = source.args[0]
+        if isinstance(arg, Var):
+            bound = arg.name
+        elif isinstance(arg, Const):
+            lines.append(f"        if slab[_i] != {arg.value!r}:")
+            lines.append("            _miss(_i)")
+            lines.append("            continue")
+        else:
+            return None
+    guard_code: Optional[str] = None
+    if transition.guard is not None:
+        if not isinstance(transition.guard, Predicate):
+            return None
+        try:
+            guard_code = _predicate_code(transition.guard)
+        except CodegenError:
+            return None
+    body: List[str] = []
+    if guard_code is not None:
+        body.append(f"        if not {guard_code}:")
+        body.append("            _miss(_i)")
+        body.append("            continue")
+    if target.args:
+        param = target.state.params[0]
+        try:
+            code = _expr_code(target.args[0])
+        except CodegenError:
+            return None
+        if param.bits is not None:
+            body.append(f"        slab[_i] = ({code}) % {1 << param.bits}")
+        else:
+            body.append(f"        _t = {code}")
+            body.append("        if _t < 0:")
+            body.append(
+                f"            raise ValueError('negative value for param "
+                f"{param.name}')"
+            )
+            body.append("        slab[_i] = _t")
+    if target.state is not source.state:
+        body.append("        states[_i] = target_sid")
+    # Bind the source parameter only when the guard or target reads it.
+    needs_binding = any("values[" in line for line in body)
+    if needs_binding:
+        if bound is None:
+            return None
+        lines.append(f"        values = {{{bound!r}: slab[_i]}}")
+    lines.extend(body if body else ["        pass"])
+    lines.append("    return misses")
+    namespace: Dict[str, Any] = {}
+    exec(compile("\n".join(lines), "<staged-cohort>", "exec"), namespace)
+    _stats["cohorts"] += 1
+    return namespace["_cohort"]
+
+
 class StagedTransition:
     """One transition's staged closures (each ``None`` when not staged)."""
 
-    __slots__ = ("transition", "match", "guard", "target")
+    __slots__ = ("transition", "match", "guard", "target", "cohort")
 
     def __init__(self, transition: TransitionSpec) -> None:
         self.transition = transition
         self.match = _compile_matcher(transition.source)
         self.guard = _compile_guard(transition)
         self.target = _compile_target(transition.target)
+        self.cohort = _compile_cohort(transition)
 
     def __repr__(self) -> str:
         staged = [

@@ -1,0 +1,244 @@
+"""Population-scale workloads distilled from the paper's §1.1 settings.
+
+Each workload is a sealed :class:`~repro.core.statemachine.MachineSpec`
+plus the *epoch plan*: a deterministic function of ``(seed, epoch,
+machine index)`` deciding what every machine does this epoch — which
+local event it executes and whether it emits a message to a neighbour.
+Decisions are pure hashes of global identity, never of shard layout, so
+a run partitioned over any number of shards plans exactly the same
+events (the first half of the epoch-barrier determinism argument; see
+``DESIGN.md``).
+
+Two workloads ship:
+
+``olsr``
+    The OLSR-style beacon mesh from §1.1's wireless setting: every node
+    keeps a 16-bit beacon sequence, fires a periodic ``HELLO`` (or a
+    ``RETX`` after a simulated loss), and bumps its counter on a
+    neighbour's beacon (``HEARD``).
+
+``trust``
+    The §1.1 trust mesh: every relay carries a saturating score;
+    neighbours send good/bad verdicts, and guarded transition groups
+    (``GOOD``/``GOOD_SAT``, ``BAD``/``BAD_FLOOR``) clamp the score to
+    ``[0, CAP]`` — the same arithmetic ``repro.trust.mesh`` applies one
+    object at a time.
+
+Events are identified by small integers indexing ``Workload.events``,
+each entry an ordered tuple of candidate transition names: the first
+whose guard holds fires (the completeness checker guarantees the group
+covers every value, so a fully-missed event means a workload bug).
+Message kinds map into event ids through ``Workload.message_event``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.statemachine import MachineSpec, Param
+from repro.core.symbolic import Var
+
+_MASK = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def mix64(z: int) -> int:
+    """The splitmix64 finalizer: the run's only source of randomness."""
+    z &= _MASK
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK
+    return z ^ (z >> 31)
+
+
+def epoch_seed(seed: int, epoch: int) -> int:
+    """The per-epoch hash base; identical in every shard."""
+    return mix64((seed + 1) * _GOLDEN + epoch * _MIX1)
+
+
+class Workload:
+    """A sealed spec plus the epoch-planning rules that drive it.
+
+    Subclasses define :meth:`plan` as one inline loop — the per-machine
+    decision hash is open-coded there because it runs once per machine
+    per epoch, the second-hottest loop in megasim after the cohort
+    kernels.
+    """
+
+    #: Registry key and transcript label.
+    name: str = ""
+    #: Event id -> ordered candidate transition names.
+    events: Tuple[Tuple[str, ...], ...] = ()
+    #: Message kind -> event id applied at the receiver.
+    message_event: Dict[int, int] = {}
+
+    def __init__(self) -> None:
+        self.spec = self._build_spec()
+
+    def _build_spec(self) -> MachineSpec:
+        raise NotImplementedError
+
+    def initial_value(self, index: int) -> int:
+        """The machine's starting parameter value (global index -> value)."""
+        raise NotImplementedError
+
+    def plan(
+        self,
+        eseed: int,
+        lo: int,
+        hi: int,
+        machines: int,
+        cohorts: List[List[int]],
+        outbox: List[Tuple[int, int, int]],
+    ) -> None:
+        """Plan one epoch for machines ``[lo, hi)`` of ``machines`` total.
+
+        Appends shard-local indices (``global - lo``) to ``cohorts`` and
+        ``(dst, src, kind)`` messages (global indices) to ``outbox``.
+        """
+        raise NotImplementedError
+
+
+class OlsrBeacons(Workload):
+    """§1.1 wireless mesh: HELLO beacons, retransmits, neighbour churn."""
+
+    name = "olsr"
+    events = (("HELLO",), ("RETX",), ("HEARD",))
+    message_event = {0: 2}  # a beacon on the air -> HEARD at the receiver
+
+    def _build_spec(self) -> MachineSpec:
+        sm = MachineSpec(
+            "olsr_node",
+            doc="An OLSR-style node's beacon counter, population-hosted.",
+        )
+        beacon = sm.state(
+            "Beacon", params=[Param("seq", bits=16)], initial=True
+        )
+        n = Var("seq")
+        sm.transition(
+            "HELLO", beacon(n), beacon(n + 1), doc="periodic beacon sent"
+        )
+        sm.transition(
+            "RETX", beacon(n), beacon(n + 1), doc="beacon resent after loss"
+        )
+        sm.transition(
+            "HEARD", beacon(n), beacon(n + 3), doc="neighbour beacon received"
+        )
+        return sm.seal()
+
+    def initial_value(self, index: int) -> int:
+        return index & 0xFFFF
+
+    def plan(self, eseed, lo, hi, machines, cohorts, outbox):
+        hello = cohorts[0].append
+        retx = cohorts[1].append
+        emit = outbox.append
+        linked = machines > 1
+        mask = _MASK
+        for i in range(lo, hi):
+            z = (eseed + i * _GOLDEN) & mask
+            z = ((z ^ (z >> 30)) * _MIX1) & mask
+            z = ((z ^ (z >> 27)) * _MIX2) & mask
+            z ^= z >> 31
+            if z & 3:  # 3/4 of beacons go out on schedule...
+                hello(i - lo)
+            else:  # ...the rest were lost once and retransmit
+                retx(i - lo)
+            if z & 4 and linked:  # half the beacons reach a neighbour
+                emit(((i + 1 + ((z >> 16) % (machines - 1))) % machines, i, 0))
+
+
+class TrustMesh(Workload):
+    """§1.1 trust mesh: saturating relay scores driven by peer verdicts."""
+
+    name = "trust"
+    events = (("PROBE",), ("GOOD", "GOOD_SAT"), ("BAD", "BAD_FLOOR"))
+    message_event = {1: 1, 2: 2}
+
+    #: Score ceiling; GOOD saturates here, matching ``repro.trust.mesh``.
+    CAP = 64
+
+    def _build_spec(self) -> MachineSpec:
+        sm = MachineSpec(
+            "trust_relay",
+            doc="A relay's trust score with guarded saturation arithmetic.",
+        )
+        relay = sm.state(
+            "Relay", params=[Param("score", bits=16)], initial=True
+        )
+        s = Var("score")
+        sm.transition(
+            "PROBE", relay(s), relay(s), doc="keep-alive probe, score unchanged"
+        )
+        sm.transition(
+            "GOOD",
+            relay(s),
+            relay(s + 1),
+            guard=(s < self.CAP),
+            doc="good verdict below the cap",
+        )
+        sm.transition(
+            "GOOD_SAT",
+            relay(s),
+            relay(s),
+            guard=(s >= self.CAP),
+            doc="good verdict at the cap: saturate",
+        )
+        sm.transition(
+            "BAD",
+            relay(s),
+            relay(s - 1),
+            guard=(s >= 1),
+            doc="bad verdict above the floor",
+        )
+        sm.transition(
+            "BAD_FLOOR",
+            relay(s),
+            relay(s),
+            guard=(s < 1),
+            doc="bad verdict at zero: stay floored",
+        )
+        return sm.seal()
+
+    def initial_value(self, index: int) -> int:
+        return (index * 7) % self.CAP
+
+    def plan(self, eseed, lo, hi, machines, cohorts, outbox):
+        probe = cohorts[0].append
+        emit = outbox.append
+        linked = machines > 1
+        mask = _MASK
+        for i in range(lo, hi):
+            z = (eseed + i * _GOLDEN) & mask
+            z = ((z ^ (z >> 30)) * _MIX1) & mask
+            z = ((z ^ (z >> 27)) * _MIX2) & mask
+            z ^= z >> 31
+            probe(i - lo)
+            if z & 1 and linked:  # half the probes produce a verdict
+                # 3/4 of verdicts are good, 1/4 bad — scores drift to the
+                # cap, so the guarded saturation branches actually run.
+                kind = 1 if z & 6 else 2
+                emit(((i + 1 + ((z >> 16) % (machines - 1))) % machines, i, kind))
+
+
+_REGISTRY = {cls.name: cls for cls in (OlsrBeacons, TrustMesh)}
+WORKLOADS = tuple(sorted(_REGISTRY))
+
+_instances: Dict[str, Workload] = {}
+
+
+def get_workload(name: str) -> Workload:
+    """The (shared, stateless) workload instance for ``name``."""
+    try:
+        instance = _instances[name]
+    except KeyError:
+        try:
+            cls = _REGISTRY[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown megasim workload {name!r}; "
+                f"available: {', '.join(WORKLOADS)}"
+            ) from None
+        instance = _instances[name] = cls()
+    return instance

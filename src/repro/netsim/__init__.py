@@ -8,7 +8,7 @@ configurable fault models.  Everything is driven by a seeded RNG, so each
 experiment is exactly reproducible.
 """
 
-from repro.netsim.simulator import Event, Simulator
+from repro.netsim.simulator import BudgetExhausted, Event, Simulator
 from repro.netsim.timers import Timer
 from repro.netsim.channel import Channel, ChannelConfig, ChannelStats
 from repro.netsim.node import DuplexLink, Node
@@ -16,6 +16,7 @@ from repro.netsim.capture import Capture, CapturedFrame, describe_frame
 from repro.netsim.replay import ScriptedHost, replay_frames
 
 __all__ = [
+    "BudgetExhausted",
     "Simulator",
     "Event",
     "Timer",

@@ -1,53 +1,140 @@
-"""The discrete-event simulation core: a virtual clock and an event heap.
+"""The discrete-event simulation core: a virtual clock over a slab event store.
 
 Deterministic by construction: events at equal times fire in scheduling
 order (a monotonically increasing tie-breaker), and all randomness in the
 wider simulator flows from explicitly seeded ``random.Random`` instances —
 never the global RNG.
 
-Cancelled events stay in the heap, inert, until their position surfaces —
-cancellation is O(1) and the heap never needs re-sifting.  The simulator
-accounts for them precisely: a skipped tombstone is never counted as a
-processed event, never consumes a ``max_events`` budget slot, and
-:attr:`Simulator.events_pending` (live events only) stays O(1) to read.
+Storage is a **slab**, not a heap of event objects: the priority queue
+holds plain ``(time, seq, slot)`` tuples (compared in C), and everything
+else about an event — its callback, its flags, the handle returned to the
+caller — lives in parallel arrays indexed by ``slot``.  Slots are recycled
+through a free list the moment an event leaves the queue, so a population
+of machines scheduling and cancelling millions of timers reuses a bounded
+arena instead of churning the allocator with one object per event.
+
+Cancellation stays O(1): a cancelled event becomes a tombstone that is
+discarded when its position surfaces.  Tombstones can no longer pile up,
+though — whenever cancelled entries outnumber live ones the queue is
+**compacted** (tombstones filtered out, remainder re-heapified), which is
+amortized O(1) per cancellation and keeps the queue within 2x of the live
+event count under retransmission-style schedule/cancel churn.  The
+accounting stays exact throughout: a skipped or compacted tombstone is
+never counted as a processed event, never consumes a ``max_events``
+budget slot, and :attr:`Simulator.events_pending` (live events only)
+stays O(1) to read.
 
 When built with an enabled :class:`~repro.obs.Instrumentation`, the
-simulator counts events scheduled/fired/cancelled/skipped, keeps an
-``sim.events_pending`` gauge, and attaches its virtual clock to the
-tracer so every trace record carries simulated time.
+simulator counts events scheduled/fired/cancelled/skipped/compacted,
+keeps an ``sim.events_pending`` gauge, and attaches its virtual clock to
+the tracer so every trace record carries simulated time.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.obs.instrument import Instrumentation, get_default
 
+#: Flag bits in the slab's per-event flag word.
+_CANCELLED = 1
+_FIRED = 2
 
-@dataclass(order=True)
+
+class BudgetExhausted(RuntimeError):
+    """:meth:`Simulator.run_until` spent its event budget inconclusively.
+
+    Raised when the budget runs out while live events remain and the
+    predicate still does not hold — the one outcome that is neither
+    "became true" nor "ran out of events", which silently returning
+    ``False`` used to conflate.  Carries enough context to size the next
+    attempt.
+    """
+
+    def __init__(self, max_events: int, now: float, events_pending: int) -> None:
+        self.max_events = max_events
+        self.now = now
+        self.events_pending = events_pending
+        super().__init__(
+            f"predicate not satisfied after {max_events} executed events "
+            f"(virtual time {now}, {events_pending} still pending); pass a "
+            "larger max_events or treat the scenario as divergent"
+        )
+
+
 class Event:
-    """A scheduled callback; ordering is (time, sequence number)."""
+    """A handle to one scheduled callback.
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
-    _sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    While the event is queued the handle is a *view* over the owning
+    simulator's slab (slot indices stay private); once the event fires,
+    is skipped, or is compacted away, the terminal state is copied into
+    the handle and the slab slot is recycled.  Either way ``time``,
+    ``sequence``, ``cancelled`` and ``fired`` keep answering correctly
+    for as long as the caller holds the handle.
+    """
+
+    __slots__ = ("_sim", "_slot", "_time", "_sequence", "_flags")
+
+    def __init__(self, sim: "Simulator", slot: int) -> None:
+        self._sim: Optional["Simulator"] = sim
+        self._slot = slot
+        self._time = 0.0
+        self._sequence = 0
+        self._flags = 0
+
+    @property
+    def time(self) -> float:
+        """Absolute virtual time this event fires (or fired) at."""
+        sim = self._sim
+        if sim is not None:
+            return sim._ev_time[self._slot]
+        return self._time
+
+    @property
+    def sequence(self) -> int:
+        """The scheduling-order tie-breaker."""
+        sim = self._sim
+        if sim is not None:
+            return sim._ev_seq[self._slot]
+        return self._sequence
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called before firing."""
+        sim = self._sim
+        if sim is not None:
+            return bool(sim._ev_flags[self._slot] & _CANCELLED)
+        return bool(self._flags & _CANCELLED)
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has executed."""
+        sim = self._sim
+        if sim is not None:
+            return bool(sim._ev_flags[self._slot] & _FIRED)
+        return bool(self._flags & _FIRED)
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the heap, inert).
+        """Prevent the event from firing (it tombstones in place).
 
         Cancelling an event that already fired, or twice, is a no-op — the
         owning simulator's live-event accounting stays exact either way.
         """
-        if self.cancelled or self.fired:
+        sim = self._sim
+        if sim is None:
             return
-        self.cancelled = True
-        if self._sim is not None:
-            self._sim._on_cancel()
+        flags = sim._ev_flags[self._slot]
+        if flags & (_CANCELLED | _FIRED):
+            return
+        sim._ev_flags[self._slot] = flags | _CANCELLED
+        sim._on_cancel()
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled" if self.cancelled else "fired" if self.fired else "pending"
+        )
+        return f"Event(t={self.time}, seq={self.sequence}, {state})"
 
 
 class Simulator:
@@ -71,11 +158,19 @@ class Simulator:
     """
 
     def __init__(self, obs: Optional[Instrumentation] = None) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, int]] = []
+        # The slab: parallel arrays indexed by slot, recycled via _free.
+        self._ev_time: List[float] = []
+        self._ev_seq: List[int] = []
+        self._ev_flags: List[int] = []
+        self._ev_callback: List[Optional[Callable[[], None]]] = []
+        self._ev_handle: List[Optional[Event]] = []
+        self._free: List[int] = []
         self._now = 0.0
         self._sequence = 0
         self._events_processed = 0
         self._cancelled_pending = 0
+        self._compactions = 0
         self.obs = obs if obs is not None else get_default()
         if self.obs.enabled:
             # Latest simulator wins the tracer's virtual clock: trace
@@ -94,13 +189,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events still in the heap (including cancelled tombstones)."""
+        """Events still queued (including cancelled tombstones)."""
         return len(self._heap)
 
     @property
     def events_pending(self) -> int:
         """Events scheduled and still due to fire (cancelled ones excluded)."""
         return len(self._heap) - self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Times the queue has been compacted to shed tombstones."""
+        return self._compactions
+
+    @property
+    def slab_capacity(self) -> int:
+        """Slots the slab has ever grown to (recycled, never shrunk)."""
+        return len(self._ev_time)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -114,14 +219,41 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        event = Event(time, self._sequence, callback, _sim=self)
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
+        seq = self._sequence
+        self._sequence = seq + 1
+        if self._free:
+            slot = self._free.pop()
+            self._ev_time[slot] = time
+            self._ev_seq[slot] = seq
+            self._ev_flags[slot] = 0
+            self._ev_callback[slot] = callback
+        else:
+            slot = len(self._ev_time)
+            self._ev_time.append(time)
+            self._ev_seq.append(seq)
+            self._ev_flags.append(0)
+            self._ev_callback.append(callback)
+            self._ev_handle.append(None)
+        event = Event(self, slot)
+        self._ev_handle[slot] = event
+        heapq.heappush(self._heap, (time, seq, slot))
         obs = self.obs
         if obs.enabled:
             obs.registry.counter("sim.events_scheduled").inc()
             obs.registry.gauge("sim.events_pending").set(self.events_pending)
         return event
+
+    def _retire(self, slot: int, flags: int) -> None:
+        """Copy terminal state into the handle and recycle the slot."""
+        handle = self._ev_handle[slot]
+        if handle is not None:
+            handle._time = self._ev_time[slot]
+            handle._sequence = self._ev_seq[slot]
+            handle._flags = flags
+            handle._sim = None
+        self._ev_callback[slot] = None
+        self._ev_handle[slot] = None
+        self._free.append(slot)
 
     def _on_cancel(self) -> None:
         """Bookkeeping hook invoked by :meth:`Event.cancel`."""
@@ -130,46 +262,67 @@ class Simulator:
         if obs.enabled:
             obs.registry.counter("sim.events_cancelled").inc()
             obs.registry.gauge("sim.events_pending").set(self.events_pending)
+        # Compact when tombstones outnumber live events: each compaction
+        # is O(queue) and removes more than half of it, so the cost is
+        # amortized O(1) per cancellation and the queue stays within 2x
+        # of the live count no matter how hot the schedule/cancel churn.
+        if self._cancelled_pending > len(self._heap) - self._cancelled_pending:
+            self._compact()
 
-    def _pop_skipping_cancelled(self) -> Optional[Event]:
-        """Pop the next live event, discarding cancelled tombstones.
+    def _compact(self) -> None:
+        """Drop every tombstone from the queue and re-heapify the rest."""
+        flags = self._ev_flags
+        live: List[Tuple[float, int, int]] = []
+        for entry in self._heap:
+            slot = entry[2]
+            f = flags[slot]
+            if f & _CANCELLED:
+                self._retire(slot, f)
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_pending = 0
+        self._compactions += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.registry.counter("sim.compactions").inc()
 
-        Skipped tombstones are not processed events: they advance neither
-        the clock nor :attr:`events_processed`, and callers must not let
-        them consume execution budgets.
+    def step(self) -> bool:
+        """Run the next live event; returns False when none remain.
+
+        Tombstones surfacing on the way are discarded without advancing
+        the clock, :attr:`events_processed`, or any caller's budget.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        ev_flags = self._ev_flags
+        obs = self.obs
+        while heap:
+            time, _seq, slot = heapq.heappop(heap)
+            flags = ev_flags[slot]
+            if flags & _CANCELLED:
                 self._cancelled_pending -= 1
-                obs = self.obs
+                self._retire(slot, flags)
                 if obs.enabled:
                     obs.registry.counter("sim.events_skipped").inc()
                 continue
-            return event
-        return None
-
-    def step(self) -> bool:
-        """Run the next live event; returns False when none remain."""
-        event = self._pop_skipping_cancelled()
-        if event is None:
-            return False
-        self._now = event.time
-        self._events_processed += 1
-        event.fired = True
-        obs = self.obs
-        if obs.enabled:
-            obs.registry.counter("sim.events_fired").inc()
-            obs.registry.gauge("sim.events_pending").set(self.events_pending)
-        event.callback()
-        return True
+            callback = self._ev_callback[slot]
+            self._now = time
+            self._events_processed += 1
+            self._retire(slot, flags | _FIRED)
+            if obs.enabled:
+                obs.registry.counter("sim.events_fired").inc()
+                obs.registry.gauge("sim.events_pending").set(self.events_pending)
+            callback()
+            return True
+        return False
 
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> None:
-        """Run events until the heap drains, ``until`` passes, or the budget ends.
+        """Run events until the queue drains, ``until`` passes, or the budget ends.
 
         ``until`` is an absolute virtual time; events scheduled later stay
         queued and the clock advances to ``until`` exactly.  ``max_events``
@@ -177,18 +330,21 @@ class Simulator:
         bug-seeded baselines in the correctness experiments rely on this);
         cancelled events skipped along the way do not consume the budget.
         """
+        heap = self._heap
+        ev_flags = self._ev_flags
         executed = 0
-        while self._heap:
+        while heap:
             if max_events is not None and executed >= max_events:
                 return
-            upcoming = self._heap[0]
-            if upcoming.cancelled:
-                heapq.heappop(self._heap)
+            top_time, _seq, slot = heap[0]
+            if ev_flags[slot] & _CANCELLED:
+                heapq.heappop(heap)
                 self._cancelled_pending -= 1
+                self._retire(slot, ev_flags[slot])
                 if self.obs.enabled:
                     self.obs.registry.counter("sim.events_skipped").inc()
                 continue
-            if until is not None and upcoming.time > until:
+            if until is not None and top_time > until:
                 self._now = until
                 return
             if not self.step():
@@ -197,8 +353,19 @@ class Simulator:
         if until is not None and self._now < until:
             self._now = until
 
-    def run_until(self, predicate: Callable[[], bool], max_events: int = 1_000_000) -> bool:
-        """Run until ``predicate()`` is true; returns whether it became true."""
+    def run_until(
+        self, predicate: Callable[[], bool], max_events: int = 1_000_000
+    ) -> bool:
+        """Run until ``predicate()`` is true; returns whether it became true.
+
+        Returns ``False`` only when the event queue drained without the
+        predicate holding.  Exhausting ``max_events`` while live events
+        remain raises :class:`BudgetExhausted` instead of returning an
+        ambiguous ``False`` — a megascale scenario that silently stops a
+        million events in is indistinguishable from a protocol failure
+        otherwise.  Callers with open-ended workloads should size the
+        budget explicitly.
+        """
         if predicate():
             return True
         executed = 0
@@ -206,4 +373,8 @@ class Simulator:
             executed += 1
             if predicate():
                 return True
-        return predicate()
+        if predicate():
+            return True
+        if self.events_pending > 0:
+            raise BudgetExhausted(max_events, self._now, self.events_pending)
+        return False

@@ -438,8 +438,16 @@ def run_transfer(
     time_limit: float = 10_000.0,
     adaptive_rto: bool = False,
     max_rto: float = 60.0,
+    max_events: int = 1_000_000,
 ) -> TransferReport:
-    """Run a full stop-and-wait transfer over a faulty duplex link."""
+    """Run a full stop-and-wait transfer over a faulty duplex link.
+
+    ``max_events`` is the simulation budget; a transfer that exhausts it
+    while events are still pending raises
+    :class:`~repro.netsim.simulator.BudgetExhausted` rather than quietly
+    reporting failure — a retry-capped stop-and-wait run ends (done or
+    failed) orders of magnitude below the default.
+    """
     sim = Simulator()
     sender_node = Node(sim, "sender")
     receiver_node = Node(sim, "receiver")
@@ -452,7 +460,7 @@ def run_transfer(
         max_retries=max_retries, adaptive_rto=adaptive_rto, max_rto=max_rto,
     )
     sender.start()
-    sim.run_until(lambda: sender.done or sender.failed)
+    sim.run_until(lambda: sender.done or sender.failed, max_events=max_events)
     sim.run(until=min(sim.now + 2 * rto, time_limit))  # drain in-flight acks
     delivered = list(receiver.delivered)
     violations = check_transfer_invariants(messages, delivered)

@@ -535,6 +535,7 @@ def _run_sliding(
     seed: int,
     rto: float,
     max_retries: int,
+    max_events: int,
 ) -> SlidingTransferReport:
     sim = Simulator()
     sender_node = Node(sim, "sender")
@@ -555,7 +556,7 @@ def _run_sliding(
             window=window, rto=rto, max_retries=max_retries,
         )
     sender.start()
-    sim.run_until(lambda: sender.done or sender.failed)
+    sim.run_until(lambda: sender.done or sender.failed, max_events=max_events)
     sim.run(until=sim.now + 2 * rto)
     delivered = list(receiver.delivered)
     return SlidingTransferReport(
@@ -579,9 +580,16 @@ def run_gbn_transfer(
     seed: int = 0,
     rto: float = 0.5,
     max_retries: int = 50,
+    max_events: int = 1_000_000,
 ) -> SlidingTransferReport:
-    """Run a Go-Back-N transfer over a faulty duplex link."""
-    return _run_sliding("gbn", messages, config, window, seed, rto, max_retries)
+    """Run a Go-Back-N transfer over a faulty duplex link.
+
+    Exhausting ``max_events`` with work still pending raises
+    :class:`~repro.netsim.simulator.BudgetExhausted`.
+    """
+    return _run_sliding(
+        "gbn", messages, config, window, seed, rto, max_retries, max_events
+    )
 
 
 def run_sr_transfer(
@@ -591,6 +599,13 @@ def run_sr_transfer(
     seed: int = 0,
     rto: float = 0.5,
     max_retries: int = 50,
+    max_events: int = 1_000_000,
 ) -> SlidingTransferReport:
-    """Run a Selective Repeat transfer over a faulty duplex link."""
-    return _run_sliding("sr", messages, config, window, seed, rto, max_retries)
+    """Run a Selective Repeat transfer over a faulty duplex link.
+
+    Exhausting ``max_events`` with work still pending raises
+    :class:`~repro.netsim.simulator.BudgetExhausted`.
+    """
+    return _run_sliding(
+        "sr", messages, config, window, seed, rto, max_retries, max_events
+    )

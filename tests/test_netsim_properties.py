@@ -14,10 +14,12 @@ the invariants after every step — the regression net for the O(1)
 tombstone-cancellation scheme.
 """
 
+import heapq
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netsim.simulator import Simulator
+from repro.netsim.simulator import BudgetExhausted, Simulator
 
 # One step of an interleaving: (op, a, b) where the integers parameterize
 # the op (delay choice, victim index, budget size).
@@ -146,3 +148,240 @@ class TestCancelTimerAccounting:
                 sim.run(max_events=b)
             assert sim.now >= last
             last = sim.now
+
+
+# ---------------------------------------------------------------------------
+# Slab store vs. the original heap-of-objects semantics
+# ---------------------------------------------------------------------------
+
+
+class _RefEvent:
+    """One event record in the reference (pre-slab) implementation."""
+
+    __slots__ = ("time", "sequence", "callback", "cancelled", "fired")
+
+    def __init__(self, time, sequence, callback):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def __lt__(self, other):
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+class _ReferenceSimulator:
+    """The original per-object heap semantics, kept verbatim as the oracle.
+
+    Cancelled events stay in the heap forever (no compaction); skipping a
+    tombstone never counts as processing.  The slab simulator must agree
+    on fire order, clock, and all live-event accounting — only the
+    physical queue size (``pending``) may differ, because the slab
+    compacts tombstones away.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self.now = 0.0
+        self._sequence = 0
+        self.events_processed = 0
+        self._cancelled_pending = 0
+
+    @property
+    def events_pending(self):
+        return len(self._heap) - self._cancelled_pending
+
+    def schedule(self, delay, callback):
+        event = _RefEvent(self.now + delay, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event):
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._cancelled_pending += 1
+
+    def step(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.fired = True
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events=None):
+        executed = 0
+        while max_events is None or executed < max_events:
+            if not self.step():
+                return
+            executed += 1
+
+
+class TestSlabMatchesReferenceHeap:
+    """Differential: every interleaving agrees with the old heap, exactly."""
+
+    @given(steps=_steps)
+    @settings(max_examples=200, deadline=None)
+    def test_fire_order_and_accounting_identical(self, steps):
+        sim = Simulator()
+        ref = _ReferenceSimulator()
+        sim_fired, ref_fired = [], []
+        sim_events, ref_events = [], []
+        tag = 0
+        for op, a, b in steps:
+            if op == "schedule":
+                delay = a * 0.25
+                sim_events.append(
+                    sim.schedule(delay, lambda t=tag: sim_fired.append(t))
+                )
+                ref_events.append(
+                    ref.schedule(delay, lambda t=tag: ref_fired.append(t))
+                )
+                tag += 1
+            elif op in ("cancel", "double_cancel"):
+                if sim_events:
+                    index = a % len(sim_events)
+                    sim_events[index].cancel()
+                    ref.cancel(ref_events[index])
+                    if op == "double_cancel":
+                        sim_events[index].cancel()
+                        ref.cancel(ref_events[index])
+            elif op == "step":
+                assert sim.step() == ref.step()
+            elif op == "run_budget":
+                sim.run(max_events=b)
+                ref.run(max_events=b)
+            # Observable state must agree after every operation...
+            assert sim_fired == ref_fired
+            assert sim.now == ref.now
+            assert sim.events_processed == ref.events_processed
+            assert sim.events_pending == ref.events_pending
+            # ...and the slab's physical queue never exceeds the
+            # reference's (compaction only ever sheds tombstones).
+            assert sim.pending <= len(ref._heap)
+        sim.run()
+        ref.run()
+        assert sim_fired == ref_fired
+        assert sim.now == ref.now
+        assert sim.events_pending == ref.events_pending == 0
+
+    @given(steps=_steps)
+    @settings(max_examples=100, deadline=None)
+    def test_handles_agree_with_reference_records(self, steps):
+        sim = Simulator()
+        ref = _ReferenceSimulator()
+        sim_events, ref_events = [], []
+        for op, a, b in steps:
+            if op == "schedule":
+                sim_events.append(sim.schedule(a * 0.25, lambda: None))
+                ref_events.append(ref.schedule(a * 0.25, lambda: None))
+            elif op in ("cancel", "double_cancel") and sim_events:
+                index = a % len(sim_events)
+                sim_events[index].cancel()
+                ref.cancel(ref_events[index])
+            elif op == "step":
+                sim.step()
+                ref.step()
+            elif op == "run_budget":
+                sim.run(max_events=b)
+                ref.run(max_events=b)
+            # Every handle ever issued — pending, fired, cancelled,
+            # compacted, slot-recycled — answers like the old object did.
+            for ours, theirs in zip(sim_events, ref_events):
+                assert ours.time == theirs.time
+                assert ours.sequence == theirs.sequence
+                assert ours.cancelled == theirs.cancelled
+                assert ours.fired == theirs.fired
+
+
+class TestTombstoneCompaction:
+    def test_cancel_reschedule_churn_keeps_heap_bounded(self):
+        """The OLSR-retransmit pattern: schedule, cancel, reschedule, forever.
+
+        Pre-compaction, every cancelled event sat in the heap until its
+        time surfaced — a tight restart loop grew the heap without bound.
+        Now tombstones are compacted whenever they outnumber live events,
+        so the queue stays within a small constant of the live count.
+        """
+        sim = Simulator()
+        live = None
+        for i in range(10_000):
+            if live is not None:
+                live.cancel()
+            live = sim.schedule(1000.0 + i * 0.001, lambda: None)
+            assert sim.events_pending == 1
+            assert sim.pending <= 3  # 1 live + at most 1 tombstone + slack
+        assert sim.compactions > 0
+        assert sim.slab_capacity <= 4  # slots recycled, not accumulated
+        fired = []
+        sim.schedule(0.5, lambda: fired.append("first"))
+        sim.run(max_events=2)
+        assert fired == ["first"]
+        assert sim.events_processed == 2
+        assert sim.events_pending == 0
+
+    def test_mass_cancel_compacts_immediately(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(1000)]
+        survivor = sim.schedule(2000.0, lambda: None)
+        for event in events:
+            event.cancel()
+        # Tombstones outnumber the single live event by far: compaction
+        # must have shed them from the physical queue.
+        assert sim.events_pending == 1
+        assert sim.pending < 500
+        sim.run()
+        assert survivor.fired
+        assert sim.events_processed == 1
+
+    def test_compaction_preserves_fire_order(self):
+        sim = Simulator()
+        fired = []
+        keep = [sim.schedule(float(i), lambda i=i: fired.append(i)) for i in range(20)]
+        doomed = [sim.schedule(0.5 + i, lambda: fired.append(-1)) for i in range(30)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert fired == list(range(20))
+        assert all(e.fired for e in keep)
+        assert all(e.cancelled and not e.fired for e in doomed)
+
+
+class TestRunUntilBudget:
+    def test_exhaustion_with_pending_events_raises(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            sim.run_until(lambda: False, max_events=25)
+        assert excinfo.value.max_events == 25
+        assert excinfo.value.events_pending == 1
+        assert sim.events_processed == 25
+
+    def test_drained_queue_returns_false(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run_until(lambda: False, max_events=100) is False
+        assert sim.events_pending == 0
+
+    def test_predicate_satisfied_on_last_budgeted_event(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        assert sim.run_until(lambda: len(count) >= 5, max_events=5) is True

@@ -1,10 +1,16 @@
 """Serving-plane benchmark: sessions/sec and goodput over real sockets.
 
-Three measurements, written to ``BENCH_serve.json``:
+Four measurements, written to ``BENCH_serve.json``:
 
 * ``manager_sessions_per_second`` — the session manager's accept path
   (demux, app build, fastpath warm-up, wheel arm) driven synchronously,
   no sockets: the ceiling the transport can never beat.
+* ``high_session`` — the density tier: ramp to 10k+ *concurrent*
+  sessions in one manager, churn accepts through the oldest-idle shed
+  path at full density, then measure the steady-state frame rate across
+  the whole table, with peak RSS recorded as the memory envelope.  This
+  is the slab layout's tier: per-session objects would blow both the
+  accept budget and the envelope.
 * ``handshake_sessions_per_second`` — concurrent three-way handshakes
   over real loopback UDP, client machines included: the end-to-end
   session-establishment rate.
@@ -45,7 +51,7 @@ from repro.serve.manager import SessionManager
 from repro.serve.transport import ServeConfig, Server
 from repro.serve.wheel import TimerWheel
 
-SCHEMA = "repro.serve/bench/v1"
+SCHEMA = "repro.serve/bench/v2"
 
 #: Relative floor versus the baseline before --check fails.  Loopback
 #: throughput on shared CI runners swings hard; the gate is for
@@ -76,6 +82,85 @@ def bench_manager_accept(sessions: int = 2000) -> Dict[str, Any]:
         "sessions": sessions,
         "seconds": round(elapsed, 6),
         "sessions_per_second": round(sessions / elapsed, 1),
+    }
+
+
+def bench_high_session(
+    sessions: int = 10000, churn: int = 2000, frames: int = 30000
+) -> Dict[str, Any]:
+    """The density tier: ramp, churn and serve at 10k+ concurrent.
+
+    Three phases against one manager (synchronous, like the accept
+    bench — this measures the datapath, not the socket):
+
+    1. **ramp** — open ``sessions`` fresh peers; every one stays live
+       (``max_sessions`` admits them all), so the table really holds
+       that many concurrent sessions when phase 2 starts.
+    2. **churn** — offer ``churn`` more fresh peers at full capacity;
+       each admission sheds the oldest-idle session first, so this is
+       the accept path *plus* the shed heap at density.
+    3. **steady state** — one more frame to every live session (a
+       duplicate, so the ARQ app re-acks it: parse, machine probe and
+       send all run), measuring per-frame cost across the full table.
+
+    Peak RSS is recorded as the memory envelope; ``concurrent_sessions``
+    is asserted, not sampled.
+    """
+    import resource
+
+    wheel = TimerWheel(tick=0.01, now=0.0)
+    manager = SessionManager(
+        "arq",
+        wheel=wheel,
+        clock=time.perf_counter,
+        max_sessions=sessions,
+        max_queue=64,
+        idle_timeout=3600.0,
+    )
+    packet = ARQ_PACKET.make(seq=0, length=4, payload=b"ping")
+    frame = ARQ_PACKET.encode(packet)
+    sink: List[bytes] = []
+    send = sink.append
+
+    start = time.perf_counter()
+    for index in range(sessions):
+        manager.frame_from(("10.0.0.1", index), frame, send)
+    ramp_elapsed = time.perf_counter() - start
+    assert manager.stats()["active"] == sessions
+    assert manager.shed_total == 0
+
+    start = time.perf_counter()
+    for index in range(churn):
+        manager.frame_from(("10.0.0.2", index), frame, send)
+    churn_elapsed = time.perf_counter() - start
+    assert manager.stats()["active"] == sessions
+    assert manager.shed_total == churn  # every churn accept shed one
+
+    peers = list(manager.sessions)
+    count = len(peers)
+    start = time.perf_counter()
+    for index in range(frames):
+        manager.frame_from(peers[index % count], frame, send)
+    steady_elapsed = time.perf_counter() - start
+    assert len(sink) == sessions + churn + frames  # every frame acked
+
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "concurrent_sessions": manager.stats()["active"],
+        "ramp_seconds": round(ramp_elapsed, 6),
+        "accepts_per_second": round(sessions / ramp_elapsed, 1),
+        "churn_accepts": churn,
+        "churn_seconds": round(churn_elapsed, 6),
+        "churn_accepts_per_second": (
+            round(churn / churn_elapsed, 1) if churn_elapsed else 0.0
+        ),
+        "steady_frames": frames,
+        "steady_seconds": round(steady_elapsed, 6),
+        "frames_per_second": (
+            round(frames / steady_elapsed, 1) if steady_elapsed else 0.0
+        ),
+        "slab_capacity": manager.slab.capacity,
+        "peak_rss_kb": peak_rss_kb,
     }
 
 
@@ -171,6 +256,11 @@ def run(seed: int = 0, scale: float = 1.0) -> Dict[str, Any]:
     report["manager_accept"] = bench_manager_accept(
         sessions=max(200, int(2000 * scale))
     )
+    report["high_session"] = bench_high_session(
+        sessions=max(1000, int(10000 * scale)),
+        churn=max(200, int(2000 * scale)),
+        frames=max(3000, int(30000 * scale)),
+    )
     report["handshakes"] = asyncio.run(
         _bench_handshakes(clients=max(10, int(60 * scale)), seed=seed)
     )
@@ -197,6 +287,9 @@ def run(seed: int = 0, scale: float = 1.0) -> Dict[str, Any]:
 
 _GATES = [
     ("manager_accept", "sessions_per_second"),
+    ("high_session", "accepts_per_second"),
+    ("high_session", "churn_accepts_per_second"),
+    ("high_session", "frames_per_second"),
     ("handshakes", "sessions_per_second"),
     ("goodput_sliding", "goodput_bytes_per_second"),
     ("goodput_arq", "goodput_bytes_per_second"),

@@ -27,6 +27,7 @@ on a real socket.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.core.machine import Machine
@@ -46,6 +47,21 @@ from repro.protocols.sliding import (
 )
 
 Send = Callable[[bytes], None]
+
+
+# Machine specs are immutable once built, and both compiled caches —
+# ``dispatch.staged_table`` (the sealed per-transition closures) and
+# ``fastpath.active_state`` (the codec tier) — key off the spec *object*.
+# Building a fresh spec per session therefore recompiles everything per
+# accept; these cached builders make the spec (and so its compiled
+# artifacts) a per-protocol constant shared by every session, the same
+# move megasim uses to host a million machines on one sealed spec.
+# Profiling PR 7's accept path showed per-session spec builds were ~75%
+# of accept cost.
+
+_receiver_spec = lru_cache(maxsize=None)(build_receiver_spec)
+_responder_spec = lru_cache(maxsize=None)(build_responder_spec)
+_window_receiver_spec = lru_cache(maxsize=None)(build_window_receiver_spec)
 
 
 class SessionApp:
@@ -108,7 +124,7 @@ class ArqResponderApp(SessionApp):
 
     def __init__(self, send: Send, seed: int = 0, **params: Any) -> None:
         super().__init__(send, seed, **params)
-        self._machine = Machine(build_receiver_spec())
+        self._machine = Machine(_receiver_spec())
         self.delivered: List[bytes] = []
         self.acks_sent = 0
 
@@ -151,7 +167,7 @@ class HandshakeResponderApp(SessionApp):
 
     def __init__(self, send: Send, seed: int = 0, **params: Any) -> None:
         super().__init__(send, seed, **params)
-        self._machine = Machine(build_responder_spec())
+        self._machine = Machine(_responder_spec())
         self._rng = random.Random(seed)
         self._synack_frame = b""
         self._synack_for = -1  # initiator nonce the cached SYN-ACK answers
@@ -218,7 +234,7 @@ class SlidingResponderApp(SessionApp):
     ) -> None:
         super().__init__(send, seed, window=window, **params)
         self.window = int(window)
-        self._machine = Machine(build_window_receiver_spec("SrReceiver"))
+        self._machine = Machine(_window_receiver_spec("SrReceiver"))
         self.buffer: Dict[int, Any] = {}  # seq -> Verified[SlidingData]
         self.delivered: List[bytes] = []
         self.acks_sent = 0

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.machine import Machine
@@ -37,6 +38,13 @@ from repro.protocols.sliding import (
     build_gbn_sender_spec,
 )
 from repro.serve.wheel import TimerWheel, WheelTimer
+
+# One sealed spec (and so one staged dispatch table, one compiled codec
+# state) per sender role, shared by every client — the same per-protocol
+# spec constant the server apps use; machine state stays per-instance.
+_sender_spec = lru_cache(maxsize=None)(build_sender_spec)
+_initiator_spec = lru_cache(maxsize=None)(build_initiator_spec)
+_gbn_sender_spec = lru_cache(maxsize=None)(build_gbn_sender_spec)
 
 
 class WheelRunner:
@@ -156,7 +164,7 @@ class ArqClient(BaseClient):
         max_retries: int = 25,
     ) -> None:
         super().__init__(runner)
-        self.machine = Machine(build_sender_spec(), context=list(messages))
+        self.machine = Machine(_sender_spec(), context=list(messages))
         self.queue: List[bytes] = list(messages)
         self.rto = rto
         self.max_retries = max_retries
@@ -237,7 +245,7 @@ class HandshakeClient(BaseClient):
         max_retries: int = 8,
     ) -> None:
         super().__init__(runner)
-        self.machine = Machine(build_initiator_spec())
+        self.machine = Machine(_initiator_spec())
         self.rng = random.Random(seed)
         self.rto = rto
         self.max_retries = max_retries
@@ -311,7 +319,7 @@ class SlidingClient(BaseClient):
         super().__init__(runner)
         self.messages = list(messages)
         self.window = window
-        self.machine = Machine(build_gbn_sender_spec(window), context=self.messages)
+        self.machine = Machine(_gbn_sender_spec(window), context=self.messages)
         self.rto = rto
         self.max_retries = max_retries
         self.acked: Dict[int, bool] = {}

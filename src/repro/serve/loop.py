@@ -1,0 +1,107 @@
+"""Pluggable event-loop policy for the serving plane.
+
+The default selector loop is the accept-rate ceiling once the datapath
+itself stops allocating; ``uvloop`` (libuv's loop behind the same
+asyncio API) lifts it where available.  This module keeps that choice
+*policy*, not code: nothing in :mod:`repro.serve` imports uvloop
+directly, and a missing uvloop is a clean fallback, never a crash —
+the repo's rule for every optional dependency.
+
+Selection order (first hit wins):
+
+1. an explicit request (the ``--loop`` CLI flag),
+2. the ``REPRO_SERVE_LOOP`` environment variable,
+3. ``auto``: uvloop when importable, asyncio otherwise.
+
+Requesting ``uvloop`` where it isn't installed resolves to asyncio with
+a human-readable :attr:`LoopChoice.note` the CLI surfaces — the server
+still starts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Coroutine, Optional
+
+#: Environment override consulted when the CLI doesn't pass ``--loop``.
+LOOP_ENV = "REPRO_SERVE_LOOP"
+
+#: The loop names the policy understands (``auto`` resolves to one of
+#: the other two).
+LOOP_CHOICES = ("auto", "asyncio", "uvloop")
+
+
+@dataclass(frozen=True)
+class LoopChoice:
+    """A resolved loop policy: what was asked for and what will run."""
+
+    requested: str  #: "auto" | "asyncio" | "uvloop" (post-env resolution)
+    name: str  #: the loop that will actually run: "asyncio" | "uvloop"
+    note: Optional[str] = None  #: human-readable fallback reason, if any
+
+
+def _import_uvloop() -> Any:
+    """uvloop if importable, else None (import error swallowed)."""
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    return uvloop
+
+
+def uvloop_available() -> bool:
+    """True when uvloop can be imported in this interpreter."""
+    return _import_uvloop() is not None
+
+
+def choose_loop(
+    requested: Optional[str] = None, env: Optional[dict] = None
+) -> LoopChoice:
+    """Resolve the loop policy; never raises for a *missing* uvloop.
+
+    ``requested`` beats the environment; ``None``/empty falls through to
+    ``REPRO_SERVE_LOOP``, then ``auto``.  Unknown names raise
+    ``ValueError`` (a typo should not silently serve on the wrong loop).
+    """
+    environ = os.environ if env is None else env
+    name = (requested or environ.get(LOOP_ENV) or "auto").strip().lower()
+    if name not in LOOP_CHOICES:
+        raise ValueError(
+            f"unknown loop policy {name!r}; choose from {'|'.join(LOOP_CHOICES)}"
+        )
+    if name == "asyncio":
+        return LoopChoice("asyncio", "asyncio")
+    if _import_uvloop() is not None:
+        return LoopChoice(name, "uvloop")
+    if name == "uvloop":
+        return LoopChoice(
+            "uvloop",
+            "asyncio",
+            "uvloop requested but not installed; serving on asyncio",
+        )
+    return LoopChoice("auto", "asyncio")
+
+
+def run(coro: Coroutine[Any, Any, Any], choice: Optional[LoopChoice] = None) -> Any:
+    """``asyncio.run`` under the chosen loop policy.
+
+    With a uvloop choice this prefers ``uvloop.run`` (uvloop ≥ 0.18) and
+    falls back to ``uvloop.install()`` + ``asyncio.run`` for older
+    releases; the asyncio path is untouched stdlib.
+    """
+    if choice is None:
+        choice = choose_loop()
+    if choice.note:
+        print(f"repro.serve: {choice.note}", file=sys.stderr)
+    if choice.name == "uvloop":
+        uvloop = _import_uvloop()
+        if uvloop is None:  # raced away since choose_loop; fall back
+            return asyncio.run(coro)
+        runner = getattr(uvloop, "run", None)
+        if runner is not None:
+            return runner(coro)
+        uvloop.install()
+    return asyncio.run(coro)

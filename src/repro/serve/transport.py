@@ -31,7 +31,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.instrument import Instrumentation, get_default
 from repro.serve.framing import FramingError, StreamDeframer, encode_frame
-from repro.serve.manager import SessionManager
+from repro.serve.manager import SendFactory, SessionManager
 from repro.serve.wheel import TimerWheel
 
 
@@ -58,24 +58,35 @@ class ServeConfig:
 
 
 class UdpServeProtocol(asyncio.DatagramProtocol):
-    """Datagram listener: every source address is a session."""
+    """Datagram listener: every source address is a session.
+
+    The per-datagram path passes one long-lived :class:`SendFactory` to
+    the manager; the per-peer send closure is built exactly once, when a
+    session opens — a frame on an existing session allocates nothing
+    here.
+    """
 
     def __init__(self, manager: SessionManager) -> None:
         self.manager = manager
         self.transport: Optional[asyncio.DatagramTransport] = None
+        self._send_factory: Optional[SendFactory] = None
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport  # type: ignore[assignment]
+        sendto = transport.sendto  # type: ignore[attr-defined]
+
+        def build(addr: Tuple[str, int]) -> Any:
+            def send(frame: bytes, _addr: Tuple[str, int] = addr) -> None:
+                sendto(frame, _addr)
+
+            return send
+
+        self._send_factory = SendFactory(build)
 
     def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
-        transport = self.transport
-        if transport is None:
+        if self.transport is None:
             return
-
-        def send(frame: bytes, _addr: Tuple[str, int] = addr) -> None:
-            transport.sendto(frame, _addr)
-
-        self.manager.frame_from(addr, data, send)
+        self.manager.frame_from(addr, data, self._send_factory)
 
 
 class TcpServeProtocol(asyncio.Protocol):
@@ -87,10 +98,19 @@ class TcpServeProtocol(asyncio.Protocol):
         self.deframer = StreamDeframer()
         self.peer: Any = None
         self._paused = False
+        self._send: Any = None
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport  # type: ignore[assignment]
         self.peer = transport.get_extra_info("peername")
+        write = transport.write  # type: ignore[attr-defined]
+
+        # One send closure per connection (the manager captures it at
+        # session open), not one per received chunk.
+        def send(frame: bytes) -> None:
+            write(encode_frame(frame))
+
+        self._send = send
 
     def data_received(self, data: bytes) -> None:
         transport = self.transport
@@ -103,12 +123,8 @@ class TcpServeProtocol(asyncio.Protocol):
             self.manager.close(self.peer, reason="framing")
             transport.close()
             return
-
-        def send(frame: bytes) -> None:
-            transport.write(encode_frame(frame))
-
         for frame in frames:
-            admission = self.manager.frame_from(self.peer, frame, send)
+            admission = self.manager.frame_from(self.peer, frame, self._send)
             if admission.congested and not self._paused:
                 # Backpressure: stop reading until the manager drains.
                 self._paused = True
@@ -199,7 +215,14 @@ class LossyDatagramTransport:
 
 
 class Server:
-    """A bound serving plane: listeners + wheel tick + telemetry export."""
+    """A bound serving plane: listeners + wheel tick + telemetry export.
+
+    The server owns **one** :class:`TimerWheel`; every manager it hosts
+    (the primary listener's plus any added through :meth:`add_listener`)
+    schedules into it, so a multi-protocol server ticks one wheel and
+    reaps every protocol's idle sessions in the same batch — not one
+    tick task per manager.
+    """
 
     def __init__(
         self,
@@ -213,25 +236,52 @@ class Server:
         self.wheel = TimerWheel(
             tick=config.wheel_tick, slots=config.wheel_slots, now=loop.time()
         )
-        self.manager = SessionManager(
+        self.managers: list[SessionManager] = []
+        self.manager = self._make_manager(config)
+        self.udp_transport: Optional[asyncio.DatagramTransport] = None
+        self.tcp_server: Optional[asyncio.AbstractServer] = None
+        self._extra_udp: list[asyncio.DatagramTransport] = []
+        self._tick_task: Optional[asyncio.Task] = None
+        self._exporter: Any = None
+        self._export_every = 0.25
+        self._last_export = 0.0
+
+    def _make_manager(self, config: ServeConfig) -> SessionManager:
+        manager = SessionManager(
             config.protocol,
-            wheel=self.wheel,
-            clock=loop.time,
+            wheel=self.wheel,  # shared: one wheel serves every manager
+            clock=self.loop.time,
             max_sessions=config.max_sessions,
             max_queue=config.max_queue,
             idle_timeout=config.idle_timeout,
             app_params=config.app_params,
             seed=config.seed,
             record=config.record,
-            defer=loop.call_soon,
+            defer=self.loop.call_soon,
             obs=self.obs,
         )
-        self.udp_transport: Optional[asyncio.DatagramTransport] = None
-        self.tcp_server: Optional[asyncio.AbstractServer] = None
-        self._tick_task: Optional[asyncio.Task] = None
-        self._exporter: Any = None
-        self._export_every = 0.25
-        self._last_export = 0.0
+        self.managers.append(manager)
+        return manager
+
+    async def add_listener(self, config: ServeConfig) -> SessionManager:
+        """Bind an additional UDP listener with its own manager.
+
+        The new manager rides this server's wheel and tick task —
+        wheel-sharing across managers is the point (see
+        ``tests/test_timer_wheel.py`` for the interleaving guarantees).
+        Returns the manager so callers can inspect its sessions/stats.
+        """
+        if config.kind != "udp":
+            raise ValueError(
+                f"add_listener supports udp listeners, got {config.kind!r}"
+            )
+        manager = self._make_manager(config)
+        transport, _ = await self.loop.create_datagram_endpoint(
+            lambda: UdpServeProtocol(manager),
+            local_addr=(config.host, config.port),
+        )
+        self._extra_udp.append(transport)
+        return manager
 
     @classmethod
     async def start(
@@ -308,11 +358,15 @@ class Server:
         if self.udp_transport is not None:
             self.udp_transport.close()
             self.udp_transport = None
+        for transport in self._extra_udp:
+            transport.close()
+        self._extra_udp.clear()
         if self.tcp_server is not None:
             self.tcp_server.close()
             await self.tcp_server.wait_closed()
             self.tcp_server = None
-        self.manager.close_all(reason="shutdown")
+        for manager in self.managers:
+            manager.close_all(reason="shutdown")
         if self._exporter is not None:
             try:
                 self._exporter.close()

@@ -25,11 +25,16 @@ from repro.core.packet import PacketSpec
 from repro.core.statemachine import MachineSpec, Param
 from repro.core.symbolic import Var, this
 from repro.obs import NULL_OBS, Instrumentation
+from repro.protocols.arq import ARQ_PACKET
+from repro.serve.manager import SessionManager
+from repro.serve.wheel import TimerWheel
 
 MAX_OVERHEAD = 1.10
 TRIALS = 9
 TRANSITIONS = 1500
 DECODES = 3000
+SERVE_PEERS = 64
+SERVE_FRAMES = 3000
 
 PKT = PacketSpec(
     "OverheadPkt",
@@ -74,6 +79,38 @@ def _time_decodes(obs) -> float:
     return time.perf_counter() - start
 
 
+_ARQ_WIRE = ARQ_PACKET.encode(ARQ_PACKET.make(seq=0, length=4, payload=b"ping"))
+
+
+def _time_serve_datapath(obs) -> float:
+    """The serve demux hot path: frame_from + inline drain, at density.
+
+    Accepts run untimed (they include app construction); the timed
+    region is the steady-state per-frame path the slab rewrite made
+    allocation-free — one dict lookup, slab indexing, drain, app
+    dispatch, ack out.
+    """
+    wheel = TimerWheel(tick=0.01, now=0.0)
+    manager = SessionManager(
+        "arq",
+        wheel=wheel,
+        clock=time.perf_counter,
+        max_sessions=SERVE_PEERS * 2,
+        idle_timeout=3600.0,
+        obs=obs,
+    )
+    sink = []
+    send = sink.append
+    peers = [("overhead-peer", index) for index in range(SERVE_PEERS)]
+    for peer in peers:
+        manager.frame_from(peer, _ARQ_WIRE, send)
+    frame_from = manager.frame_from
+    start = time.perf_counter()
+    for index in range(SERVE_FRAMES):
+        frame_from(peers[index % SERVE_PEERS], _ARQ_WIRE, send)
+    return time.perf_counter() - start
+
+
 def _best_ratio(measure) -> float:
     disabled = Instrumentation(enabled=False)
     assert disabled.enabled is False and NULL_OBS.enabled is False
@@ -99,6 +136,14 @@ def test_decode_packet_disabled_overhead_within_bound():
     assert ratio <= MAX_OVERHEAD, (
         f"instrumented-but-disabled decode_packet is {ratio:.3f}x the no-op "
         f"baseline (bound {MAX_OVERHEAD}x)"
+    )
+
+
+def test_serve_datapath_disabled_overhead_within_bound():
+    ratio = _best_ratio(_time_serve_datapath)
+    assert ratio <= MAX_OVERHEAD, (
+        f"instrumented-but-disabled serve datapath is {ratio:.3f}x the "
+        f"no-op baseline (bound {MAX_OVERHEAD}x)"
     )
 
 

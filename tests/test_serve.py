@@ -15,8 +15,10 @@ Four layers of scrutiny, cheapest first:
    conversing with the DSL server over UDP and over TCP, where the
    length-prefix stream framing earns its keep.
 
-The 500-session soak (shed threshold 400) lives behind the ``slow``
-marker with the other long lanes.
+The 5000-session soak (shed threshold 4000) lives behind the ``slow``
+marker with the other long lanes; the slab rewrite's regression tests
+(slot recycling, frozen views, stale-drain fences, bounded bookkeeping)
+ride layer 2.
 """
 
 import asyncio
@@ -243,6 +245,115 @@ class TestSessionManager:
         assert len(records[0].outbound()) == 1  # the ack
 
 
+class TestSlabStorage:
+    """The slab rewrite's contract: density without observable change."""
+
+    def test_slot_recycling_bounds_the_arena(self):
+        # 200 peers churn through one-at-a-time; the slab never grows
+        # past peak concurrency and close() leaves no per-peer residue
+        # (the PR 7 _drain_scheduled dict leaked one entry per peer ever
+        # seen — this is its regression test).
+        h = _Harness()
+        for index in range(200):
+            peer = f"peer:{index}"
+            h.offer(peer, _data_frame(0))
+            h.manager.close(peer)
+        assert h.manager.slab.capacity == 1  # one slot, recycled 200x
+        assert len(h.manager._drain_tasks) == 1
+        assert len(h.manager._idle_tasks) == 1
+        assert not hasattr(h.manager, "_drain_scheduled")
+        assert h.manager.stats() == {
+            "active": 0,
+            "opened": 200,
+            "closed": 200,
+            "shed": 0,
+            "queue_drops": 0,
+        }
+
+    def test_shed_heap_tombstones_are_compacted(self):
+        # Normal closes leave lazy tombstones in the oldest-idle heap;
+        # churning thousands of sessions must not accumulate them.
+        h = _Harness()
+        for index in range(2000):
+            peer = f"peer:{index}"
+            h.offer(peer, _data_frame(0))
+            h.manager.close(peer)
+        assert len(h.manager._idle_heap) <= 32  # live(0) + slack, not 2000
+
+    def test_closed_view_is_frozen_against_slot_reuse(self):
+        h = _Harness()
+        h.offer("a", _data_frame(0, b"from-a"))
+        view_a = h.manager.sessions["a"]
+        slot_a = view_a.slot
+        h.manager.close("a")
+        assert view_a.closed
+        # The slot is recycled by the next session...
+        h.offer("b", _data_frame(0, b"from-b"))
+        view_b = h.manager.sessions["b"]
+        assert view_b.slot == slot_a
+        # ...but the frozen view still answers for its own session.
+        assert view_a.peer == "a"
+        assert view_a.app.delivered == [b"from-a"]
+        assert view_b.app.delivered == [b"from-b"]
+        assert not view_b.closed
+
+    def test_stale_drain_never_touches_a_retired_slot(self):
+        # A drain deferred for session a fires after a was closed: the
+        # generation fence must discard it (the slot's arrays are
+        # cleared; touching them would be an AttributeError on None).
+        pending = []
+        h = _Harness(defer=pending.append)
+        h.offer("a", _data_frame(0))
+        h.manager.close("a")  # a's drain is still queued in `pending`
+        (stale,) = pending
+        stale()  # must be a silent no-op
+        assert h.manager.stats()["active"] == 0
+
+    def test_drain_across_slot_reuse_delivers_exactly_once(self):
+        # The drain callback is slot-level and idempotent: when a's
+        # stale drain fires after b recycled the slot, it runs b's
+        # pending drain early — and the second firing is a no-op, so
+        # delivery stays exactly-once in order.
+        pending = []
+        h = _Harness(defer=pending.append)
+        h.offer("a", _data_frame(0))
+        h.manager.close("a")
+        h.offer("b", _data_frame(0, b"for-b"))
+        assert h.manager.sessions["b"].slot == 0  # recycled slot
+        for drain in pending:
+            drain()
+        assert h.manager.sessions["b"].app.delivered == [b"for-b"]
+        assert h.manager.sessions["b"].app.frames_in == 1
+
+    def test_send_captured_at_open_only(self):
+        # frame_from ignores `send` for existing sessions (documented:
+        # transports pass one long-lived object, not per-frame closures).
+        h = _Harness()
+        first, second = [], []
+        h.manager.frame_from("a", _data_frame(0), first.append)
+        h.manager.frame_from("a", _data_frame(1), second.append)
+        assert len(first) == 2  # both acks went out the open-time send
+        assert second == []
+
+    def test_send_factory_is_invoked_once_per_session(self):
+        from repro.serve.manager import SendFactory
+
+        built = []
+        sent = []
+
+        def build(peer):
+            built.append(peer)
+            return sent.append
+
+        factory = SendFactory(build)
+        h = _Harness()
+        h.manager.frame_from("a", _data_frame(0), factory)
+        h.manager.frame_from("a", _data_frame(1), factory)
+        h.manager.frame_from("b", _data_frame(0), factory)
+        assert built == ["a", "b"]  # once per open, never per frame
+        assert len(sent) == 3  # every frame was acked
+
+
 # ---------------------------------------------------------------------------
 # Layer 3: the loopback differential
 # ---------------------------------------------------------------------------
@@ -448,38 +559,41 @@ class TestBaselineInterop:
 
 @pytest.mark.slow
 class TestSoak:
-    def test_500_sessions_shed_at_400_oldest_idle_first(self):
-        h = _Harness(max_sessions=400, idle_timeout=300.0)
-        # 500 peers arrive in strict order, each stamped by arrival time
+    def test_5000_sessions_shed_at_4000_oldest_idle_first(self):
+        h = _Harness(max_sessions=4000, idle_timeout=300.0)
+        # 5000 peers arrive in strict order, each stamped by arrival time
         # and carrying a payload naming its peer.
-        for index in range(500):
+        for index in range(5000):
             h.tick(0.001)
-            h.offer(f"peer:{index}", _data_frame(0, b"p%03d" % index))
+            h.offer(f"peer:{index}", _data_frame(0, b"p%04d" % index))
         stats = h.manager.stats()
-        assert stats["active"] == 400
-        assert stats["opened"] == 500
-        assert stats["shed"] == 100
-        assert stats["closed"] == 100  # every close was a shed
-        # Oldest-idle first: exactly the first 100 arrivals lost their
+        assert stats["active"] == 4000
+        assert stats["opened"] == 5000
+        assert stats["shed"] == 1000
+        assert stats["closed"] == 1000  # every close was a shed
+        # Oldest-idle first: exactly the first 1000 arrivals lost their
         # slots (nobody refreshed, so arrival order is idleness order).
         survivors = {int(p.split(":")[1]) for p in h.manager.sessions}
-        assert survivors == set(range(100, 500))
+        assert survivors == set(range(1000, 5000))
+        # Density bookkeeping: the slab arena equals peak concurrency,
+        # not peers-ever-seen.
+        assert h.manager.slab.capacity == 4000
 
     def test_no_session_observes_anothers_frames(self):
-        h = _Harness(max_sessions=400, idle_timeout=300.0)
-        peers = [f"peer:{i}" for i in range(500)]
+        h = _Harness(max_sessions=4000, idle_timeout=300.0)
+        peers = [f"peer:{i}" for i in range(5000)]
         for index, peer in enumerate(peers):
             h.tick(0.001)
-            h.offer(peer, _data_frame(0, b"A%03d" % index))
+            h.offer(peer, _data_frame(0, b"A%04d" % index))
         # Interleave a second frame to every survivor, reversed order.
         for index, peer in reversed(list(enumerate(peers))):
             if peer in h.manager.sessions:
-                h.offer(peer, _data_frame(1, b"B%03d" % index))
+                h.offer(peer, _data_frame(1, b"B%04d" % index))
         for peer, session in h.manager.sessions.items():
             index = int(peer.split(":")[1])
             assert session.app.delivered == [
-                b"A%03d" % index,
-                b"B%03d" % index,
+                b"A%04d" % index,
+                b"B%04d" % index,
             ], f"cross-session leakage at {peer}"
         # Ack streams stayed per-peer as well.
         for peer, frames in h.sent.items():
@@ -487,18 +601,19 @@ class TestSoak:
                 assert len(frames) == 2
 
     def test_refreshed_sessions_survive_the_flood(self):
-        h = _Harness(max_sessions=400, idle_timeout=300.0)
+        h = _Harness(max_sessions=4000, idle_timeout=300.0)
         keep = [f"keep:{i}" for i in range(50)]
         for peer in keep:
             h.tick(0.001)
             h.offer(peer, _data_frame(0))
-        for index in range(450):
+        for index in range(4950):
             h.tick(0.001)
-            for peer in keep:  # constant traffic on the protected set
-                h.offer(peer, _data_frame(1))
+            if index % 10 == 0:  # steady traffic on the protected set
+                for peer in keep:
+                    h.offer(peer, _data_frame(1))
             h.offer(f"flood:{index}", _data_frame(0))
         assert all(peer in h.manager.sessions for peer in keep)
-        assert h.manager.stats()["shed"] == 100  # 500 offered, 400 fit
+        assert h.manager.stats()["shed"] == 1000  # 5000 offered, 4000 fit
 
     def test_live_soak_concurrent_clients_over_udp(self):
         # A real-socket soak at a gentler scale: 60 concurrent DSL

@@ -1,0 +1,125 @@
+"""The serving plane's pluggable event-loop policy.
+
+uvloop is an *optional* accelerator: requesting it where it isn't
+installed must resolve to a clean asyncio fallback (with a visible
+note), never a crash — the CLI contract for ``--loop`` and the
+``REPRO_SERVE_LOOP`` environment override.  A fake uvloop module stands
+in for the real one so the selection and run paths are covered either
+way the container is built.
+"""
+
+import asyncio
+import sys
+import types
+
+import pytest
+
+from repro.serve.loop import (
+    LOOP_CHOICES,
+    LOOP_ENV,
+    LoopChoice,
+    choose_loop,
+    run,
+    uvloop_available,
+)
+
+
+class _FakeUvloop(types.ModuleType):
+    """Stands in for uvloop: records run() calls, delegates to asyncio."""
+
+    def __init__(self):
+        super().__init__("uvloop")
+        self.ran = 0
+
+    def run(self, coro):
+        self.ran += 1
+        return asyncio.run(coro)
+
+
+@pytest.fixture
+def fake_uvloop(monkeypatch):
+    fake = _FakeUvloop()
+    monkeypatch.setitem(sys.modules, "uvloop", fake)
+    return fake
+
+
+@pytest.fixture
+def no_uvloop(monkeypatch):
+    monkeypatch.setitem(sys.modules, "uvloop", None)  # import -> ImportError
+
+
+class TestChooseLoop:
+    def test_default_is_auto(self, no_uvloop):
+        choice = choose_loop(env={})
+        assert choice == LoopChoice("auto", "asyncio", None)
+
+    def test_explicit_asyncio_never_probes_uvloop(self, fake_uvloop):
+        choice = choose_loop("asyncio", env={})
+        assert choice == LoopChoice("asyncio", "asyncio", None)
+
+    def test_auto_prefers_uvloop_when_importable(self, fake_uvloop):
+        choice = choose_loop("auto", env={})
+        assert choice == LoopChoice("auto", "uvloop", None)
+
+    def test_uvloop_without_uvloop_falls_back_with_note(self, no_uvloop):
+        choice = choose_loop("uvloop", env={})
+        assert choice.name == "asyncio"  # clean skip, not a crash
+        assert choice.requested == "uvloop"
+        assert choice.note and "not installed" in choice.note
+
+    def test_environment_override(self, no_uvloop):
+        choice = choose_loop(env={LOOP_ENV: "asyncio"})
+        assert choice == LoopChoice("asyncio", "asyncio", None)
+
+    def test_explicit_request_beats_environment(self, no_uvloop):
+        choice = choose_loop("uvloop", env={LOOP_ENV: "asyncio"})
+        assert choice.requested == "uvloop"
+
+    def test_unknown_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown loop policy"):
+            choose_loop("gevent", env={})
+
+    def test_names_are_case_insensitive(self, no_uvloop):
+        assert choose_loop("ASYNCIO", env={}).name == "asyncio"
+
+    def test_availability_probe(self, fake_uvloop):
+        assert uvloop_available()
+
+
+class TestRun:
+    def test_runs_under_asyncio(self, no_uvloop):
+        async def main():
+            return 41 + 1
+
+        assert run(main(), choose_loop("asyncio", env={})) == 42
+
+    def test_runs_under_uvloop_runner(self, fake_uvloop):
+        async def main():
+            return "served"
+
+        choice = choose_loop("uvloop", env={})
+        assert choice.name == "uvloop"
+        assert run(main(), choice) == "served"
+        assert fake_uvloop.ran == 1
+
+    def test_fallback_note_is_surfaced(self, no_uvloop, capsys):
+        async def main():
+            return 0
+
+        run(main(), choose_loop("uvloop", env={}))
+        assert "not installed" in capsys.readouterr().err
+
+
+class TestCliWiring:
+    def test_serve_parser_accepts_loop_flag(self):
+        from repro.serve.__main__ import build_parser
+
+        args = build_parser().parse_args(["serve", "arq", "--loop", "uvloop"])
+        assert args.loop == "uvloop"
+        assert set(LOOP_CHOICES) == {"auto", "asyncio", "uvloop"}
+
+    def test_serve_parser_rejects_unknown_loop(self, capsys):
+        from repro.serve.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "arq", "--loop", "trio"])

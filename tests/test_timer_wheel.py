@@ -20,6 +20,8 @@ equivalent of the simulator's event heap, and earns the same scrutiny.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.protocols.arq import ARQ_PACKET
+from repro.serve.manager import SessionManager
 from repro.serve.wheel import TimerWheel, WheelTimer
 
 TICK = 0.01
@@ -179,3 +181,165 @@ class TestWheelTimer:
         timer.start()
         wheel.advance(0.1)
         assert not timer.running
+
+
+# ---------------------------------------------------------------------------
+# The shared wheel: many session managers, one clock source
+# ---------------------------------------------------------------------------
+
+_ARQ_FRAME = ARQ_PACKET.encode(ARQ_PACKET.make(seq=0, length=2, payload=b"hi"))
+
+
+class _TwoManagerRig:
+    """Two session managers riding one wheel, the live Server topology."""
+
+    def __init__(self, idle_a=1.0, idle_b=1.0, **kwargs):
+        self.now = 0.0
+        self.wheel = TimerWheel(tick=TICK, slots=8, now=0.0)  # tiny: wraps
+        clock = lambda: self.now  # noqa: E731 - shared by both managers
+        self.a = SessionManager(
+            "arq", wheel=self.wheel, clock=clock, idle_timeout=idle_a, **kwargs
+        )
+        self.b = SessionManager(
+            "arq", wheel=self.wheel, clock=clock, idle_timeout=idle_b, **kwargs
+        )
+        self.sink = []
+
+    def offer(self, manager, peer):
+        manager.frame_from(peer, _ARQ_FRAME, self.sink.append)
+
+    def tick(self, dt):
+        self.now += dt
+        self.wheel.advance(self.now)
+
+
+class TestSharedWheelAcrossManagers:
+    def test_fire_order_follows_each_managers_timeout(self):
+        rig = _TwoManagerRig(idle_a=1.0, idle_b=2.0)
+        rig.offer(rig.a, "pa")
+        rig.offer(rig.b, "pb")
+        assert rig.wheel.pending == 2  # both idle timers on one wheel
+        rig.tick(1.05)
+        assert "pa" not in rig.a.sessions  # a's shorter timeout fired
+        assert "pb" in rig.b.sessions
+        rig.tick(1.0)  # now 2.05
+        assert "pb" not in rig.b.sessions
+        assert (rig.a.closed_total, rig.b.closed_total) == (1, 1)
+
+    def test_cancel_isolation_between_managers(self):
+        rig = _TwoManagerRig()
+        rig.offer(rig.a, "pa")
+        rig.offer(rig.b, "pb")
+        rig.tick(0.5)
+        rig.a.close("pa")  # cancels a's wheel entry only
+        rig.tick(0.6)  # now 1.1: b's deadline passed
+        assert "pb" not in rig.b.sessions  # b still fired on time
+        assert rig.a.closed_total == 1  # the explicit close, no double
+        assert rig.b.closed_total == 1
+        assert rig.wheel.pending == 0
+
+    def test_reentrant_rearm_during_anothers_fire(self):
+        # Both managers' idle entries land in the same advance; a's
+        # session saw activity, so its callback re-schedules into the
+        # wheel *while the wheel is mid-fire* of b's close.  The lazy
+        # re-arm must neither be lost nor corrupt the batch.
+        rig = _TwoManagerRig()
+        rig.offer(rig.a, "pa")
+        rig.offer(rig.b, "pb")
+        rig.tick(0.5)
+        rig.offer(rig.a, "pa")  # refresh a only (no wheel traffic)
+        rig.tick(0.55)  # now 1.05: both entries due in one advance
+        assert "pa" in rig.a.sessions  # re-armed for the remainder
+        assert "pb" not in rig.b.sessions  # reaped in the same batch
+        assert rig.wheel.pending == 1  # exactly the re-armed entry
+        rig.tick(0.5)  # now 1.55 >= 0.5 + 1.0
+        assert "pa" not in rig.a.sessions
+
+    def test_many_managers_batch_on_one_advance(self):
+        rig = _TwoManagerRig()
+        extra = SessionManager(
+            "arq",
+            wheel=rig.wheel,
+            clock=lambda: rig.now,
+            idle_timeout=1.0,
+        )
+        for manager in (rig.a, rig.b, extra):
+            for index in range(5):
+                rig.offer(manager, f"m{id(manager)}:{index}")
+        assert rig.wheel.pending == 15
+        rig.tick(1.05)  # one advance reaps every manager's sessions
+        assert rig.a.stats()["active"] == 0
+        assert rig.b.stats()["active"] == 0
+        assert extra.stats()["active"] == 0
+        assert rig.wheel.pending == 0
+
+
+# One step of a recycling interleaving over a tiny peer namespace, so
+# slots are reused constantly while stale idle entries linger in the
+# wheel: (op, peer_index, advance_step).
+_recycle_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["open", "touch", "close", "advance"]),
+        st.integers(0, 3),
+        st.integers(0, 4),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestSlotRecyclingNeverMisfires:
+    @given(steps=_recycle_steps)
+    @settings(max_examples=150, deadline=None)
+    def test_stale_idle_checks_never_reap_a_fresh_occupant(self, steps):
+        """Slot recycling + lingering wheel entries never close early.
+
+        Four peers churn through open/touch/close against a manager
+        whose slots are recycled on every close, so the wheel keeps
+        entries armed for dead generations of the same slot.  The
+        property: a session is only ever reaped after a full
+        ``idle_timeout`` of genuine silence — a stale generation's
+        entry firing into a reused slot must never shorten the new
+        occupant's life.
+        """
+        timeout = 0.1
+        now = [0.0]
+        wheel = TimerWheel(tick=TICK, slots=4, now=0.0)
+        manager = SessionManager(
+            "arq",
+            wheel=wheel,
+            clock=lambda: now[0],
+            idle_timeout=timeout,
+            max_sessions=16,  # never sheds: every close is ours or idle
+        )
+        sink = []
+        last_activity = {}  # peer -> last time WE gave it traffic
+        for op, index, step in steps:
+            peer = f"p{index}"
+            if op in ("open", "touch"):
+                manager.frame_from(peer, _ARQ_FRAME, sink.append)
+                last_activity[peer] = now[0]
+            elif op == "close":
+                if manager.close(peer) is not None:
+                    last_activity.pop(peer, None)
+            elif op == "advance":
+                now[0] += step * 0.0137  # 0 .. ~5.5 ticks, off-boundary
+                wheel.advance(now[0])
+            # The property, after every step: nothing we kept active
+            # within the timeout window has been reaped.
+            for p, t in last_activity.items():
+                if now[0] - t < timeout - 1e-9:
+                    assert p in manager.sessions, (
+                        f"{p} reaped after only {now[0] - t:.4f}s idle "
+                        f"(timeout {timeout}); stale idle-check leaked "
+                        "into a recycled slot"
+                    )
+            # Reaped peers were genuinely idle for at least the timeout.
+            for p in list(last_activity):
+                if p not in manager.sessions:
+                    assert now[0] - last_activity[p] >= timeout - 1e-9
+                    del last_activity[p]
+            # Accounting never drifts.
+            stats = manager.stats()
+            assert stats["opened"] == stats["active"] + stats["closed"]
+            assert stats["active"] == len(manager.sessions)
